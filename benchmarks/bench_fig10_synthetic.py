@@ -1,0 +1,42 @@
+"""Fig. 10 — synthetic algorithms: depth and utilization heat maps."""
+
+from conftest import print_rows
+
+from repro.analysis import generate_fig10_synthetic
+
+RATIOS = (0.0, 0.5, 1.0, 2.0)
+COUNTS = (1, 10, 20, 30)
+
+
+def test_fig10_synthetic_heatmaps(benchmark):
+    grids = benchmark(
+        generate_fig10_synthetic, 1024, RATIOS, COUNTS, 10, ("BB", "Fat-Tree")
+    )
+    for name in ("BB", "Fat-Tree"):
+        print_rows(
+            f"Fig. 10 — {name} overall depth (rows = d/t1, cols = p)",
+            {
+                f"d/t1={ratio}": [round(v, 0) for v in row]
+                for ratio, row in zip(grids[name]["processing_ratios"],
+                                      grids[name]["overall_depth"])
+            },
+        )
+        print_rows(
+            f"Fig. 10 — {name} utilization",
+            {
+                f"d/t1={ratio}": [round(v, 2) for v in row]
+                for ratio, row in zip(grids[name]["processing_ratios"],
+                                      grids[name]["utilization"])
+            },
+        )
+    bb_depth = grids["BB"]["overall_depth"]
+    ft_depth = grids["Fat-Tree"]["overall_depth"]
+    # At d/t1 = 0.5 and p = 30, BB is memory-bandwidth bound: its depth blows
+    # up relative to Fat-Tree.
+    ratio_index, count_index = 1, len(COUNTS) - 1
+    assert bb_depth[ratio_index][count_index] > 3 * ft_depth[ratio_index][count_index]
+    # With a single algorithm the two architectures are within ~15%.
+    assert abs(bb_depth[0][0] - ft_depth[0][0]) / bb_depth[0][0] < 0.15
+    # Fat-Tree utilization increases with the number of algorithms.
+    ft_util = grids["Fat-Tree"]["utilization"]
+    assert ft_util[1][0] < ft_util[1][count_index]

@@ -1,0 +1,33 @@
+"""Fig. 11 — infidelity vs tree depth with and without QEC."""
+
+from conftest import print_rows
+
+from repro.analysis import generate_fig11_qec
+from repro.fidelity.qec import max_depth_below_infidelity
+
+DEPTHS = tuple(range(2, 19, 2))
+
+
+def test_fig11_qec_infidelity(benchmark):
+    series = benchmark(generate_fig11_qec, DEPTHS)
+    print_rows(
+        "Fig. 11 — infidelity vs tree depth (eps0 = 1e-3)",
+        {k: [f"{v:.3g}" for v in vals] for k, vals in series.items()},
+    )
+    # QRAM circuits scale polynomially in depth; generic circuits saturate
+    # (exponential growth hits the infidelity ceiling) much earlier.
+    for distance in (1, 3, 5):
+        gc = series[f"GC d={distance}"]
+        ft = series[f"Fat-Tree d={distance}"]
+        bb = series[f"BB d={distance}"]
+        assert gc[-1] >= ft[-1]
+        assert gc[-1] >= bb[-1]
+        # Fat-Tree pays only a small constant factor over BB.
+        for a, b in zip(ft, bb):
+            if 0 < b < 1:
+                assert a / b < 1.3
+    # Increasing the code distance lowers every curve.
+    assert all(a >= b for a, b in zip(series["Fat-Tree d=3"], series["Fat-Tree d=5"]))
+    # At the same QEC cost, a QRAM circuit can be much deeper than a generic
+    # circuit for the same infidelity target (Sec. 8.3 narrative).
+    assert max_depth_below_infidelity("Fat-Tree", 3, 5e-3) > max_depth_below_infidelity("GC", 3, 5e-3)

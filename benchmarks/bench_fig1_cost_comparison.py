@@ -1,0 +1,41 @@
+"""Fig. 1(b) — asymptotic cost comparison for log N parallel queries."""
+
+import math
+
+from conftest import print_rows
+
+from repro.baselines import build_architecture
+from repro.fidelity import bb_query_infidelity, fat_tree_query_infidelity
+
+
+def _cost_comparison(capacity: int) -> list[dict]:
+    n = int(math.log2(capacity))
+    rows = []
+    for name in ("Fat-Tree", "BB"):
+        qram = build_architecture(name, capacity)
+        infidelity = (
+            fat_tree_query_infidelity(capacity)
+            if name == "Fat-Tree"
+            else bb_query_infidelity(capacity)
+        )
+        rows.append(
+            {
+                "architecture": name,
+                "qubits": qram.qubit_count,
+                "query_parallelism": qram.query_parallelism,
+                "latency_logN_queries": qram.parallel_query_latency(n),
+                "infidelity": infidelity,
+            }
+        )
+    return rows
+
+
+def test_fig1_shared_qram_cost_comparison(benchmark):
+    rows = benchmark(_cost_comparison, 1024)
+    print_rows("Fig. 1(b) — shared QRAM cost for log N queries (N = 1024)", rows)
+    fat_tree, bb = rows
+    # O(N) qubits both, log(N) vs log^2(N) latency, same infidelity scaling.
+    assert fat_tree["qubits"] == 2 * bb["qubits"]
+    assert fat_tree["query_parallelism"] == 10 and bb["query_parallelism"] == 1
+    assert bb["latency_logN_queries"] / fat_tree["latency_logN_queries"] > 5
+    assert fat_tree["infidelity"] < 2 * bb["infidelity"]

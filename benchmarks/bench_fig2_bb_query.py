@@ -1,0 +1,16 @@
+"""Fig. 2(a) — a capacity-8 BB QRAM query takes 25 circuit layers."""
+
+from conftest import print_rows
+
+from repro.analysis import generate_fig2_milestones
+from repro.bucket_brigade import BBQuerySchedule
+
+
+def test_fig2_bb_query_layers(benchmark):
+    milestones = benchmark(generate_fig2_milestones, 8)
+    print_rows("Fig. 2(a) — BB QRAM query milestones (N = 8)", milestones)
+    assert milestones["query_complete"] == 25
+    assert milestones["data_retrieval"] == 13
+    schedule = BBQuerySchedule(8)
+    schedule.verify_no_conflicts()
+    assert schedule.weighted_latency == 24.125

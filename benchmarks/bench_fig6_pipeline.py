@@ -1,0 +1,44 @@
+"""Fig. 6 / Fig. 12 — pipelining 3 queries on a capacity-8 Fat-Tree QRAM.
+
+Also exercises the gate-level executor on the same scenario to confirm the
+pipelined queries are functionally correct (Eq. (1)) while sharing routers.
+"""
+
+from conftest import print_rows
+
+from repro.analysis import generate_fig6_pipeline
+from repro.core.executor import FatTreeExecutor
+from repro.core.query import QueryRequest
+from repro.workloads import structured_data
+
+
+def test_fig6_pipeline_schedule(benchmark):
+    data = benchmark(generate_fig6_pipeline, 8, 3)
+    print_rows("Fig. 6 — capacity-8 Fat-Tree, 3 pipelined queries", data)
+    assert data["per_query_raw_latency"] == 29
+    assert data["finish_layers"] == [29, 39, 49]
+    assert data["bb_single_query_layers"] == 25
+
+
+def test_fig6_gate_level_functional_check(benchmark):
+    executor = FatTreeExecutor(8, structured_data(8, "parity"))
+    requests = [QueryRequest(i, {i: 1.0, 7 - i: 1.0}) for i in range(3)]
+
+    def run():
+        return executor.run_pipelined_queries(requests, interval=22)
+
+    summary, outputs = benchmark.pedantic(run, iterations=1, rounds=1)
+    fidelities = [
+        executor.query_fidelity(r, outputs[r.query_id]) for r in requests
+    ]
+    print_rows(
+        "Fig. 6 — gate-level execution",
+        {
+            "interval_raw_layers": summary.interval,
+            "per_query_raw_latency": summary.per_query_raw_latency,
+            "max_concurrent_queries": summary.max_concurrent,
+            "query_fidelities": [round(f, 6) for f in fidelities],
+        },
+    )
+    assert all(abs(f - 1.0) < 1e-9 for f in fidelities)
+    assert summary.per_query_raw_latency == 29

@@ -1,0 +1,19 @@
+"""Fig. 7 — algorithms alternating queries and processing on one Fat-Tree."""
+
+from conftest import print_rows
+
+from repro.analysis import generate_fig7_schedule
+from repro.scheduling.utilization import fig7_total_time
+
+
+def test_fig7_query_scheduling(benchmark):
+    report = benchmark(
+        generate_fig7_schedule, 8, 3, 20.0, 3
+    )
+    print_rows("Fig. 7 — 3 algorithms, d = 20 layers, capacity 8", report)
+    assert report["queries_served"] == 9
+    assert 0.0 < report["average_utilization"] <= 1.0
+    # The paper's closed form 30 n + 2 d + 17 (raw layers) is an upper bound
+    # of the same order as the simulated weighted makespan.
+    closed_form = fig7_total_time(3, 20.0)
+    assert report["total_time"] < 2 * closed_form

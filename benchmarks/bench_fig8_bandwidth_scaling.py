@@ -1,0 +1,25 @@
+"""Fig. 8 — QRAM bandwidth vs capacity for all five architectures."""
+
+from conftest import print_rows
+
+from repro.analysis import generate_fig8_bandwidth
+
+CAPACITIES = (4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def test_fig8_bandwidth_scaling(benchmark):
+    series = benchmark(generate_fig8_bandwidth, CAPACITIES)
+    print_rows("Fig. 8 — bandwidth (qubits/s) vs capacity", series)
+    fat_tree = series["Fat-Tree"]
+    bb = series["BB"]
+    virtual = series["Virtual"]
+    d_fat_tree = series["D-Fat-Tree"]
+    # Fat-Tree: capacity-independent constant bandwidth ~1.21e5.
+    assert max(fat_tree) - min(fat_tree) < 1e-6
+    assert abs(fat_tree[0] - 1.2121e5) < 2e2
+    # BB and Virtual decay with capacity; Fat-Tree dominates them everywhere.
+    assert bb == sorted(bb, reverse=True)
+    assert all(ft > b for ft, b in zip(fat_tree, bb))
+    assert all(ft > v for ft, v in zip(fat_tree, virtual))
+    # D-Fat-Tree bandwidth grows ~ log N (the expensive group).
+    assert d_fat_tree == sorted(d_fat_tree)

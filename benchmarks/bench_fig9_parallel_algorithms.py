@@ -1,0 +1,25 @@
+"""Fig. 9 — overall circuit depth of parallel algorithms at N = 2^10."""
+
+from conftest import print_rows
+
+from repro.algorithms import fig9_depths
+
+ARCHITECTURES = ("Fat-Tree", "BB", "Virtual", "D-Fat-Tree", "D-BB")
+
+
+def test_fig9_parallel_algorithm_depths(benchmark):
+    depths = benchmark(fig9_depths, 1024, ARCHITECTURES)
+    rows = [
+        {"algorithm": algorithm, **{k: round(v, 1) for k, v in row.items()}}
+        for algorithm, row in depths.items()
+    ]
+    print_rows("Fig. 9 — overall circuit depth (N = 2^10, d = 30 for QSP)", rows)
+    for algorithm, row in depths.items():
+        # Fat-Tree beats the same-qubit-budget baselines (BB, Virtual) ...
+        assert row["Fat-Tree"] < row["BB"]
+        assert row["Fat-Tree"] < row["Virtual"]
+        # ... by a factor approaching log N (paper: up to ~10x).
+        assert row["BB"] / row["Fat-Tree"] > 4
+        assert row["BB"] / row["Fat-Tree"] <= 11
+        # and is competitive with the log N-times-more-expensive D-BB.
+        assert row["Fat-Tree"] < 1.2 * row["D-BB"]

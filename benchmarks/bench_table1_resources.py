@@ -1,0 +1,18 @@
+"""Table 1 — space (qubits) and time (latency) across shared-QRAM models."""
+
+from conftest import print_rows
+
+from repro.metrics import table1_rows
+
+
+def test_table1_resources(benchmark):
+    rows = benchmark(table1_rows, 1024)
+    print_rows("Table 1 (N = 1024)", rows)
+    by_name = {r["architecture"]: r for r in rows}
+    # Headline checks (paper closed forms).
+    assert by_name["Fat-Tree"]["qubits"] == 16 * 1024
+    assert by_name["BB"]["qubits"] == 8 * 1024
+    assert abs(by_name["Fat-Tree"]["single_query_latency"] - 82.375) < 1e-9
+    assert abs(by_name["Fat-Tree"]["parallel_query_latency"] - 156.625) < 1e-9
+    assert abs(by_name["Fat-Tree"]["amortized_query_latency"] - 8.25) < 1e-9
+    assert abs(by_name["BB"]["parallel_query_latency"] - 801.25) < 1e-9

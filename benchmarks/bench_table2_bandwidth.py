@@ -1,0 +1,16 @@
+"""Table 2 — bandwidth, space-time volume and classical-memory-swap budget."""
+
+from conftest import print_rows
+
+from repro.metrics import table2_rows
+
+
+def test_table2_bandwidth_and_spacetime(benchmark):
+    rows = benchmark(table2_rows, 1024)
+    print_rows("Table 2 (N = 1024, CLOPS = 1e6)", rows)
+    by_name = {r["architecture"]: r for r in rows}
+    assert abs(by_name["Fat-Tree"]["bandwidth_qubits_per_sec"] - 1.21e5) < 2e3
+    assert abs(by_name["Fat-Tree"]["spacetime_volume_per_query"] - 132 * 1024) < 1e-6
+    assert abs(by_name["Fat-Tree"]["memory_swap_budget_us"] - 8.25) < 1e-9
+    assert by_name["BB"]["bandwidth_qubits_per_sec"] < by_name["Fat-Tree"]["bandwidth_qubits_per_sec"]
+    assert by_name["D-Fat-Tree"]["bandwidth_qubits_per_sec"] > 1e6

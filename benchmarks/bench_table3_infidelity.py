@@ -1,0 +1,16 @@
+"""Table 3 — query infidelity vs capacity for three base error rates."""
+
+from conftest import print_rows
+
+from repro.fidelity import table3_rows
+
+
+def test_table3_query_infidelity(benchmark):
+    rows = benchmark(table3_rows)
+    print_rows("Table 3 (eps1 = eps0, eps2 = eps0/2)", rows)
+    by_capacity = {r["capacity"]: r for r in rows}
+    assert abs(by_capacity[8]["infidelity_eps0_0.001"] - 0.045) < 1e-12
+    assert abs(by_capacity[16]["infidelity_eps0_0.001"] - 0.08) < 1e-12
+    assert abs(by_capacity[32]["infidelity_eps0_0.001"] - 0.125) < 1e-12
+    assert abs(by_capacity[64]["infidelity_eps0_0.001"] - 0.18) < 1e-12
+    assert abs(by_capacity[64]["infidelity_eps0_1e-05"] - 0.0018) < 1e-12

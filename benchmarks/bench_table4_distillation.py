@@ -1,0 +1,22 @@
+"""Table 4 — virtual distillation: Fat-Tree vs two BB QRAMs at 256 qubits."""
+
+from conftest import print_rows
+
+from repro.fidelity import table4_comparison
+from repro.hardware.parameters import HardwareParameters
+
+PARAMS = HardwareParameters(
+    cswap_error=0.002, inter_node_swap_error=0.002, intra_node_swap_error=0.001
+)
+
+
+def test_table4_virtual_distillation(benchmark):
+    table = benchmark(table4_comparison, 16, PARAMS)
+    print_rows("Table 4 (capacity-16, 256 qubits)", table)
+    fat_tree = table["Fat-Tree"]
+    two_bb = table["2 BB"]
+    assert fat_tree["copies"] == 4 and two_bb["copies"] == 2
+    assert abs(fat_tree["fidelity_before"] - 0.84) < 1e-9
+    assert abs(two_bb["fidelity_before"] - 0.872) < 1e-9
+    assert fat_tree["fidelity_after"] > 0.999
+    assert 0.98 < two_bb["fidelity_after"] < 0.99

@@ -1,0 +1,15 @@
+"""Table 5 — error-corrected queries: noisy Fat-Tree vs encoded BB QRAM."""
+
+from conftest import print_rows
+
+from repro.analysis import generate_table5
+
+
+def test_table5_error_corrected_queries(benchmark):
+    rows = benchmark(generate_table5, 1024, 5, 3)
+    print_rows("Table 5 ([[5,1,3]] code, D = 4, N = 1024)", rows)
+    noisy, encoded = rows
+    assert noisy["physical_qubits"] * 5 == encoded["physical_qubits"]
+    assert noisy["logical_query_parallelism"] == 2
+    assert encoded["logical_query_parallelism"] == 1
+    assert noisy["logical_query_latency"] == encoded["logical_query_latency"] + 5

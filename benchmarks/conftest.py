@@ -1,0 +1,44 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+reproduced rows/series (so running ``pytest benchmarks/ --benchmark-only -s``
+produces a textual version of the evaluation section), while
+``pytest-benchmark`` captures the wall-clock cost of regenerating it.
+"""
+
+from __future__ import annotations
+
+
+def pytest_configure(config) -> None:
+    """Keep benchmark calibration cheap.
+
+    Several benchmarks regenerate full evaluation sweeps (tens of seconds per
+    round); the default pytest-benchmark calibration would repeat them dozens
+    of times.  One to a few rounds is enough for the reproduction numbers,
+    which are deterministic.
+    """
+    for option, value in (
+        ("benchmark_min_rounds", 1),
+        ("benchmark_max_time", 0.5),
+        ("benchmark_calibration_precision", 1),
+        ("benchmark_warmup", False),
+    ):
+        if hasattr(config.option, option):
+            setattr(config.option, option, value)
+
+
+def print_rows(title: str, rows) -> None:
+    """Print a reproduced table in a compact, diff-friendly format."""
+    print(f"\n=== {title} ===")
+    if isinstance(rows, dict):
+        for key, value in rows.items():
+            print(f"  {key}: {value}")
+        return
+    for row in rows:
+        print("  " + ", ".join(f"{k}={_fmt(v)}" for k, v in row.items()))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

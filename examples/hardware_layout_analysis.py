@@ -1,0 +1,66 @@
+"""Hardware feasibility analysis of Fat-Tree QRAM nodes (Sec. 4.2).
+
+The script prints, for a capacity-32 Fat-Tree QRAM:
+
+* the per-node bill of materials of the modular implementation (cavities,
+  transmons, beam-splitters, couplers, coax wires),
+* the H-tree placement statistics (wire lengths),
+* the planarity analysis of the on-chip implementation — the full qubit
+  coupling graph is *not* planar, but the two-plane (thickness-2)
+  decomposition with TSVs is, which is the paper's key feasibility claim.
+
+Run with ``python examples/hardware_layout_analysis.py``.
+"""
+
+from __future__ import annotations
+
+from repro.hardware import (
+    HTreeLayout,
+    ModularNodeLayout,
+    OnChipLayout,
+    fat_tree_connectivity_graph,
+    is_planar,
+    node_bill_of_materials,
+)
+from repro.hardware.components import tree_bill_of_materials
+
+CAPACITY = 32
+
+
+def main() -> None:
+    print(f"Fat-Tree QRAM hardware analysis, capacity N = {CAPACITY}\n")
+
+    print("Modular implementation — per-node bill of materials:")
+    for level in range(5):
+        node = node_bill_of_materials(CAPACITY, level)
+        layout = ModularNodeLayout(CAPACITY, level)
+        wires = layout.wire_count()
+        c = node.components
+        print(f"  level {level}: {node.num_routers} routers | "
+              f"{c.cavities} cavities, {c.transmons} transmons, "
+              f"{c.beam_splitters} beam-splitters, {c.couplers} couplers | "
+              f"wires in/out = {wires['incoming']}/{wires['outgoing']} | "
+              f"internal crossings: {layout.has_internal_crossings()}")
+    total = tree_bill_of_materials(CAPACITY)
+    print(f"  whole tree: {total.cavities} cavities, {total.transmons} transmons, "
+          f"{total.coax_wires} coax wire terminations")
+
+    print("\nH-tree placement:")
+    htree = HTreeLayout(CAPACITY)
+    print(f"  total Manhattan wire length: {htree.total_wire_length():.3f} chip units")
+    print(f"  longest parent-child wire  : {htree.max_wire_length():.3f} chip units")
+
+    print("\nOn-chip (two-plane) implementation:")
+    graph = fat_tree_connectivity_graph(CAPACITY)
+    onchip = OnChipLayout(CAPACITY)
+    plane0, plane1 = onchip.planes_balanced()
+    print(f"  coupling graph: {graph.number_of_nodes()} qubits, "
+          f"{graph.number_of_edges()} couplings")
+    print(f"  single-plane planar?       : {is_planar(graph)}")
+    print(f"  thickness-2 decomposition? : {onchip.both_planes_planar()}")
+    print(f"  nodes per plane            : {plane0} / {plane1}")
+    print(f"  TSV (inter-plane) links    : {onchip.tsv_count()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that legacy editable installs (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``) work in offline environments where the
+``wheel`` backend is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Parallel Hamiltonian simulation via parallel quantum walks (Sec. 6.3, 7.3).
+
+Structured Hamiltonian simulation implemented by quantum walks makes
+``O(log N)`` sequential oracle (QRAM) calls per walk segment; parallelising
+the walk over ``p`` segments reduces the sequential query count from
+``O(log(N) loglog(N) + log^2(N))`` to ``O(log(N) loglog(N) + log(N))``
+(constant sparsity and precision, as in the paper's setup).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms.profile import AlgorithmProfile
+from repro.bucket_brigade.tree import validate_capacity
+
+
+def hamiltonian_query_count(capacity: int, parallelism: int = 1) -> int:
+    """Sequential QRAM queries per stream for one simulation segment."""
+    n = validate_capacity(capacity)
+    base = n * max(1.0, math.log2(max(2, n)))
+    serial_walk = n * n if parallelism <= 1 else n * n / parallelism
+    return max(1, math.ceil((base + serial_walk) / max(1, n)))
+
+
+def hamiltonian_simulation_profile(
+    capacity: int,
+    parallel_streams: int | None = None,
+    processing_layers: float = 8.0,
+) -> AlgorithmProfile:
+    """Query profile of parallel Hamiltonian simulation."""
+    n = validate_capacity(capacity)
+    p = n if parallel_streams is None else parallel_streams
+    return AlgorithmProfile(
+        name="Hamiltonian Sim.",
+        capacity=capacity,
+        parallel_streams=p,
+        queries_per_stream=hamiltonian_query_count(capacity, p),
+        processing_layers=processing_layers,
+    )

@@ -1,0 +1,39 @@
+"""Parallel k-Sum via quantum walk (Sec. 6.3, 7.3).
+
+The k-Sum (element distinctness style) algorithm queries the memory
+``O(N^{k/(k+1)})`` times; with ``p`` parallel queries building the quantum
+walk states, the query complexity improves to ``O((N/p)^{k/(k+1)})``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms.profile import AlgorithmProfile
+from repro.bucket_brigade.tree import validate_capacity
+
+
+def ksum_queries(database_size: int, k: int = 2, parallelism: int = 1) -> int:
+    """Sequential queries per stream: ``ceil((N / p)^(k/(k+1)))``."""
+    if database_size < 1 or k < 1 or parallelism < 1:
+        raise ValueError("invalid k-Sum parameters")
+    effective = database_size / parallelism
+    return max(1, math.ceil(effective ** (k / (k + 1))))
+
+
+def parallel_ksum_profile(
+    capacity: int,
+    k: int = 2,
+    parallel_streams: int | None = None,
+    processing_layers: float = 4.0,
+) -> AlgorithmProfile:
+    """Query profile of the parallel k-Sum algorithm."""
+    n = validate_capacity(capacity)
+    p = n if parallel_streams is None else parallel_streams
+    return AlgorithmProfile(
+        name="k-Sum",
+        capacity=capacity,
+        parallel_streams=p,
+        queries_per_stream=ksum_queries(capacity, k, p),
+        processing_layers=processing_layers,
+    )

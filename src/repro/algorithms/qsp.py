@@ -1,0 +1,42 @@
+"""Parallel Quantum Signal Processing (Sec. 6.3, 7.3).
+
+QSP applies a degree-``d`` polynomial of a block-encoded operator using
+``O(d)`` sequential queries.  Factoring the polynomial into ``p`` factors of
+degree ``O(d / p)`` (Martyn et al.) lets the factors be applied by ``p``
+parallel query streams, reducing the sequential query count from ``O(d)`` to
+``O(d / p)``; the paper evaluates ``d = 30`` with ``poly(d) = d^2`` at
+``N = 2^10``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms.profile import AlgorithmProfile
+from repro.bucket_brigade.tree import validate_capacity
+
+
+def qsp_query_count(degree: int, parallelism: int = 1, polynomial_cost=None) -> int:
+    """Sequential queries per stream: ``ceil(poly(d) / p)`` (default d^2)."""
+    if degree < 1 or parallelism < 1:
+        raise ValueError("degree and parallelism must be >= 1")
+    cost = degree**2 if polynomial_cost is None else polynomial_cost(degree)
+    return max(1, math.ceil(cost / parallelism))
+
+
+def parallel_qsp_profile(
+    capacity: int,
+    degree: int = 30,
+    parallel_streams: int | None = None,
+    processing_layers: float = 2.0,
+) -> AlgorithmProfile:
+    """Query profile of parallel QSP with polynomial degree ``degree``."""
+    n = validate_capacity(capacity)
+    p = n if parallel_streams is None else parallel_streams
+    return AlgorithmProfile(
+        name="QSP",
+        capacity=capacity,
+        parallel_streams=p,
+        queries_per_stream=qsp_query_count(degree, p),
+        processing_layers=processing_layers,
+    )

@@ -1,0 +1,58 @@
+"""Plain-text reporting helpers for tables and the full evaluation run."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return title + "\n(empty)\n"
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in rows)) for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def full_report(capacity: int = 1024) -> str:
+    """Regenerate every table at one capacity and format them as text."""
+    from repro.analysis.tables import (
+        generate_table1,
+        generate_table2,
+        generate_table3,
+        generate_table4,
+        generate_table5,
+    )
+
+    sections = [
+        format_table(generate_table1(capacity), "Table 1 — resources and latency"),
+        format_table(generate_table2(capacity), "Table 2 — bandwidth and space-time"),
+        format_table(generate_table3(), "Table 3 — query infidelity"),
+    ]
+    table4 = generate_table4()
+    rows4 = [
+        {"architecture": name, **values} for name, values in table4.items()
+    ]
+    sections.append(format_table(rows4, "Table 4 — virtual distillation"))
+    sections.append(
+        format_table(generate_table5(capacity), "Table 5 — error-corrected queries")
+    )
+    return "\n".join(sections)

@@ -1,0 +1,28 @@
+"""Baseline shared-QRAM architectures the paper compares against (Sec. 6.1).
+
+* :mod:`repro.baselines.virtual_qram` — Virtual QRAM [Xu et al., MICRO 2023]:
+  ``K`` pages of size ``M = N / K`` behind a multi-control page select.
+* :mod:`repro.baselines.distributed` — D-BB and D-Fat-Tree: ``log N``
+  independent hardware copies of the respective architecture.
+* :mod:`repro.baselines.registry` — a uniform architecture interface and the
+  registry used by the benchmark harness.
+"""
+
+from repro.baselines.virtual_qram import VirtualQRAM
+from repro.baselines.distributed import DistributedBBQRAM, DistributedFatTreeQRAM
+from repro.baselines.registry import (
+    ARCHITECTURES,
+    ArchitectureSpec,
+    build_architecture,
+    architecture_names,
+)
+
+__all__ = [
+    "VirtualQRAM",
+    "DistributedBBQRAM",
+    "DistributedFatTreeQRAM",
+    "ARCHITECTURES",
+    "ArchitectureSpec",
+    "build_architecture",
+    "architecture_names",
+]

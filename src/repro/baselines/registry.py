@@ -1,0 +1,75 @@
+"""Uniform architecture interface and registry.
+
+Every shared-QRAM model in this repository exposes the same architecture-
+level surface (the attributes used by Tables 1-2 and the benchmark harness):
+
+* ``capacity``, ``address_width``
+* ``qubit_count``
+* ``query_parallelism``
+* ``single_query_latency()``, ``parallel_query_latency(k)``,
+  ``amortized_query_latency(k)`` — all in weighted circuit layers
+* ``query(address_amplitudes)`` — a functional query
+
+``build_architecture(name, capacity)`` instantiates any of the five models of
+the evaluation: Fat-Tree, D-Fat-Tree, BB, D-BB and Virtual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+from repro.baselines.distributed import DistributedBBQRAM, DistributedFatTreeQRAM
+from repro.baselines.virtual_qram import VirtualQRAM
+from repro.bucket_brigade.qram import BucketBrigadeQRAM
+from repro.core.qram import FatTreeQRAM
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """Registry entry for one shared-QRAM architecture.
+
+    Attributes:
+        name: canonical name used in tables and figures.
+        factory: callable building an instance from (capacity, data).
+        qubit_group: "O(N)" for the same-qubit-count group (Fat-Tree, BB,
+            Virtual) or "O(N log N)" for the distributed group.
+    """
+
+    name: str
+    factory: Callable[..., object]
+    qubit_group: str
+
+
+ARCHITECTURES: dict[str, ArchitectureSpec] = {
+    "Fat-Tree": ArchitectureSpec("Fat-Tree", FatTreeQRAM, "O(N)"),
+    "BB": ArchitectureSpec("BB", BucketBrigadeQRAM, "O(N)"),
+    "Virtual": ArchitectureSpec("Virtual", VirtualQRAM, "O(N)"),
+    "D-Fat-Tree": ArchitectureSpec("D-Fat-Tree", DistributedFatTreeQRAM, "O(N log N)"),
+    "D-BB": ArchitectureSpec("D-BB", DistributedBBQRAM, "O(N log N)"),
+}
+
+
+def architecture_names() -> list[str]:
+    """Names of all registered architectures, in the paper's order."""
+    return list(ARCHITECTURES)
+
+
+def build_architecture(
+    name: str, capacity: int, data: Sequence[int] | None = None
+):
+    """Instantiate an architecture by name.
+
+    Args:
+        name: one of :func:`architecture_names`.
+        capacity: QRAM capacity ``N``.
+        data: optional classical memory contents.
+
+    Raises:
+        KeyError: for unknown architecture names.
+    """
+    if name not in ARCHITECTURES:
+        raise KeyError(
+            f"unknown architecture {name!r}; expected one of {architecture_names()}"
+        )
+    return ARCHITECTURES[name].factory(capacity, data)

@@ -1,0 +1,100 @@
+"""The three-state quantum router model.
+
+A quantum router (Fig. 2(b) of the paper) holds a *router qubit* that takes
+one of three states:
+
+* ``WAIT`` — inactive; the router routes trivially (nothing passes),
+* ``ZERO`` — routes the input to the left output,
+* ``ONE`` — routes the input to the right output.
+
+In the gate-level executors the ``WAIT`` state is represented by ``|0>`` of a
+router qubit that has never been written: an inactive router then "routes
+left" an input that is itself ``|0>``, which is indistinguishable from not
+routing at all.  This is the standard circuit-model simplification; it
+preserves the query unitary exactly and only differs in how errors would
+propagate, which the fidelity analysis of :mod:`repro.fidelity` treats
+analytically.
+
+This module also provides a small classical state machine for a single
+router, used by unit tests and by the hardware component models.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class RouterState(enum.Enum):
+    """The three conceptual states of a quantum router."""
+
+    WAIT = "W"
+    ZERO = "0"
+    ONE = "1"
+
+
+@dataclass
+class QuantumRouter:
+    """Classical state machine mirroring a single quantum router.
+
+    The gate-level simulators never use this class directly (they operate on
+    qubits); it exists as an executable specification of router behaviour for
+    unit tests and the hardware models.
+
+    Attributes:
+        state: current router state.
+        input_value: occupancy of the input port (None = empty).
+        output_values: occupancy of the left/right output ports.
+    """
+
+    state: RouterState = RouterState.WAIT
+    input_value: int | None = None
+    output_values: list[int | None] = field(default_factory=lambda: [None, None])
+
+    def store(self) -> None:
+        """STORE: absorb the input qubit into the router qubit."""
+        if self.input_value is None:
+            # Storing an empty input leaves the router inactive — this is what
+            # happens on all off-path routers of a superposed query.
+            self.state = RouterState.WAIT
+            return
+        self.state = RouterState.ONE if self.input_value else RouterState.ZERO
+        self.input_value = None
+
+    def unstore(self) -> None:
+        """UNSTORE: emit the stored bit back into the input port."""
+        if self.state is RouterState.WAIT:
+            return
+        self.input_value = 1 if self.state is RouterState.ONE else 0
+        self.state = RouterState.WAIT
+
+    def route(self) -> None:
+        """ROUTE: move the input to the output selected by the router state."""
+        if self.input_value is None:
+            return
+        if self.state is RouterState.WAIT:
+            # An inactive router does not move information.
+            return
+        direction = 1 if self.state is RouterState.ONE else 0
+        if self.output_values[direction] is not None:
+            raise RuntimeError("output port already occupied")
+        self.output_values[direction] = self.input_value
+        self.input_value = None
+
+    def unroute(self) -> None:
+        """UNROUTE: move the selected output back to the input."""
+        if self.state is RouterState.WAIT:
+            return
+        direction = 1 if self.state is RouterState.ONE else 0
+        value = self.output_values[direction]
+        if value is None:
+            return
+        if self.input_value is not None:
+            raise RuntimeError("input port already occupied")
+        self.input_value = value
+        self.output_values[direction] = None
+
+    @property
+    def is_active(self) -> bool:
+        """True when the router holds an address bit."""
+        return self.state is not RouterState.WAIT

@@ -1,0 +1,67 @@
+"""Query request / result records shared by the pipeline model, the
+scheduler and the gate-level executor."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+
+class QueryStatus(enum.Enum):
+    """Lifecycle of a query in a shared QRAM."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+
+
+@dataclass
+class QueryRequest:
+    """A quantum query submitted to a shared QRAM.
+
+    Attributes:
+        query_id: unique identifier.
+        address_amplitudes: address superposition to query (normalised by the
+            executor); ``None`` for purely timing-level simulations.
+        request_time: raw circuit layer at which the request arrives (used by
+            the scheduler; 0 means "available from the start").
+        qpu: identifier of the requesting QPU (for multi-QPU workloads).
+        initial_bus: initial bus bit ``b`` (the query XORs data into it).
+    """
+
+    query_id: int
+    address_amplitudes: Mapping[int, complex] | None = None
+    request_time: float = 0.0
+    qpu: int = 0
+    initial_bus: int = 0
+
+
+@dataclass
+class QueryResult:
+    """Outcome of a query.
+
+    Attributes:
+        query_id: identifier of the originating request.
+        start_layer: raw circuit layer at which the query entered the QRAM.
+        finish_layer: raw circuit layer at which it completed.
+        latency_layers: raw-layer latency including any queueing delay.
+        weighted_latency: latency in weighted circuit layers (fast layers
+            count 1/8).
+        amplitudes: output amplitudes over ``(address, bus)`` pairs, when a
+            functional execution was performed.
+        status: final status.
+    """
+
+    query_id: int
+    start_layer: float
+    finish_layer: float
+    latency_layers: float
+    weighted_latency: float = 0.0
+    amplitudes: dict[tuple[int, int], complex] = field(default_factory=dict)
+    status: QueryStatus = QueryStatus.COMPLETED
+
+    @property
+    def service_layers(self) -> float:
+        """Raw layers spent inside the QRAM (excludes queueing)."""
+        return self.finish_layer - self.start_layer + 1

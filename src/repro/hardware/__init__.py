@@ -1,0 +1,49 @@
+"""Hardware implementation models for Fat-Tree QRAM nodes (Sec. 4.2).
+
+The paper proposes two superconducting-cavity realisations of a Fat-Tree
+node — a *modular* implementation (independently manufactured modules linked
+with coaxial cables) and an *on-chip* implementation (a two-plane chip with
+through-silicon vias).  The evaluation only needs the timing and error
+parameters of those realisations plus their connectivity feasibility, which
+is what these models capture:
+
+* :mod:`repro.hardware.parameters` — gate times, CLOPS, error rates.
+* :mod:`repro.hardware.components` — cavities, transmons, beam-splitters,
+  couplers, and the per-node bill of materials.
+* :mod:`repro.hardware.htree` — the 2D H-tree placement (Figs. 2(c), 3).
+* :mod:`repro.hardware.modular` — intra-module wiring with no crossings and
+  inter-module coax links (Fig. 4(a-c)).
+* :mod:`repro.hardware.onchip` — the bi-planar decomposition with TSVs
+  (Fig. 4(d-e)), checked with networkx planarity tests.
+* :mod:`repro.hardware.planarity` — connectivity-graph construction and
+  planarity / thickness-2 checks.
+"""
+
+from repro.hardware.parameters import DEFAULT_PARAMETERS, HardwareParameters
+from repro.hardware.components import (
+    ComponentCount,
+    FatTreeNodeHardware,
+    node_bill_of_materials,
+)
+from repro.hardware.htree import HTreeLayout
+from repro.hardware.modular import ModularNodeLayout
+from repro.hardware.onchip import OnChipLayout
+from repro.hardware.planarity import (
+    fat_tree_connectivity_graph,
+    is_planar,
+    two_plane_decomposition,
+)
+
+__all__ = [
+    "HardwareParameters",
+    "DEFAULT_PARAMETERS",
+    "ComponentCount",
+    "FatTreeNodeHardware",
+    "node_bill_of_materials",
+    "HTreeLayout",
+    "ModularNodeLayout",
+    "OnChipLayout",
+    "fat_tree_connectivity_graph",
+    "is_planar",
+    "two_plane_decomposition",
+]

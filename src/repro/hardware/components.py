@@ -1,0 +1,127 @@
+"""Superconducting component inventory of Fat-Tree nodes (Fig. 4).
+
+A quantum router is built from cavities (input, router, two outputs), a
+transmon coupled to the input cavity for the native CSWAP, beam-splitters for
+intra-node nearest-neighbour SWAPs, and tunable couplers that terminate the
+inter-node coaxial wires.  ``node_bill_of_materials`` reproduces the per-node
+component counts implied by Fig. 4 and scales them across the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bucket_brigade.tree import validate_capacity
+
+
+@dataclass(frozen=True)
+class ComponentCount:
+    """Component counts of a hardware unit.
+
+    Attributes:
+        cavities: bosonic cavity modes (qubit storage).
+        transmons: transmon ancillas enabling cavity-controlled CSWAPs.
+        beam_splitters: tunable beam-splitters for intra-node SWAPs.
+        couplers: tunable couplers terminating inter-node wires.
+        coax_wires: bendable coaxial wires leaving the unit (modular design).
+    """
+
+    cavities: int
+    transmons: int
+    beam_splitters: int
+    couplers: int
+    coax_wires: int
+
+    def __add__(self, other: "ComponentCount") -> "ComponentCount":
+        return ComponentCount(
+            self.cavities + other.cavities,
+            self.transmons + other.transmons,
+            self.beam_splitters + other.beam_splitters,
+            self.couplers + other.couplers,
+            self.coax_wires + other.coax_wires,
+        )
+
+    def scale(self, factor: int) -> "ComponentCount":
+        return ComponentCount(
+            self.cavities * factor,
+            self.transmons * factor,
+            self.beam_splitters * factor,
+            self.couplers * factor,
+            self.coax_wires * factor,
+        )
+
+
+def router_components(has_outputs: bool, reduced_connectivity: bool = False) -> ComponentCount:
+    """Components of a single quantum router (Fig. 4(c) / (c1)).
+
+    Args:
+        has_outputs: transient-storage routers have no output cavities.
+        reduced_connectivity: use the alternative implementation of Fig. 4(c1)
+            that adds one ancillary cavity to avoid attaching four beam
+            splitters to the router cavity.
+    """
+    cavities = 4 if has_outputs else 2
+    if reduced_connectivity:
+        cavities += 1
+    return ComponentCount(
+        cavities=cavities,
+        transmons=1,
+        beam_splitters=2 if has_outputs else 1,
+        couplers=0,
+        coax_wires=0,
+    )
+
+
+@dataclass(frozen=True)
+class FatTreeNodeHardware:
+    """Hardware description of one Fat-Tree node at a given level.
+
+    Attributes:
+        level: tree level of the node.
+        address_width: ``n`` of the surrounding Fat-Tree.
+        num_routers: routers inside the node (``n - level``).
+        components: total component counts of the node.
+    """
+
+    level: int
+    address_width: int
+    num_routers: int
+    components: ComponentCount
+
+
+def node_bill_of_materials(
+    capacity: int, level: int, reduced_connectivity: bool = False
+) -> FatTreeNodeHardware:
+    """Bill of materials for one node of a capacity-``N`` Fat-Tree (Fig. 4(a)).
+
+    The node hosts ``n - level`` routers; exactly one of them (the transient
+    router) lacks output cavities except at the last level where the outputs
+    are the leaf cells.  Tunable couplers terminate the incoming wires (one
+    per router) and the outgoing wires (two sets of ``n - level - 1``).
+    """
+    n = validate_capacity(capacity)
+    if not 0 <= level < n:
+        raise ValueError(f"level {level} out of range")
+    num_routers = n - level
+    last_level = level == n - 1
+    total = ComponentCount(0, 0, 0, 0, 0)
+    for slot in range(num_routers):
+        has_outputs = slot > 0 or last_level
+        total = total + router_components(has_outputs, reduced_connectivity)
+    incoming = num_routers
+    outgoing = 0 if last_level else 2 * (num_routers - 1)
+    couplers = incoming + outgoing
+    total = total + ComponentCount(0, 0, 0, couplers, incoming + outgoing)
+    return FatTreeNodeHardware(level, n, num_routers, total)
+
+
+def tree_bill_of_materials(
+    capacity: int, reduced_connectivity: bool = False
+) -> ComponentCount:
+    """Total component counts of the whole Fat-Tree QRAM."""
+    n = validate_capacity(capacity)
+    total = ComponentCount(0, 0, 0, 0, 0)
+    for level in range(n):
+        node = node_bill_of_materials(capacity, level, reduced_connectivity)
+        total = total + node.components.scale(2**level)
+    return total

@@ -1,0 +1,88 @@
+"""Qubit / router resource estimates (Table 1, rows "Qubits" and
+"Query parallelism")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.registry import architecture_names, build_architecture
+from repro.bucket_brigade.tree import validate_capacity
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Resource summary of one architecture at one capacity.
+
+    Attributes:
+        architecture: architecture name.
+        capacity: memory size ``N``.
+        qubits: physical qubit count.
+        routers: quantum router count (hardware copies included).
+        query_parallelism: independent queries servable simultaneously.
+        qubit_group: "O(N)" or "O(N log N)".
+    """
+
+    architecture: str
+    capacity: int
+    qubits: int
+    routers: int
+    query_parallelism: int
+    qubit_group: str
+
+
+def _router_count(name: str, capacity: int) -> int:
+    n = validate_capacity(capacity)
+    if name == "BB":
+        return capacity - 1
+    if name == "Fat-Tree":
+        return 2 * capacity - 2 - n
+    if name == "D-BB":
+        return n * (capacity - 1)
+    if name == "D-Fat-Tree":
+        return n * (2 * capacity - 2 - n)
+    if name == "Virtual":
+        # Same qubit budget as Fat-Tree: page QRAM replicated across virtual
+        # instances plus page-select ancillas; router count reported as the
+        # equivalent number of routers that budget buys.
+        return 2 * capacity - 2 - n
+    raise KeyError(name)
+
+
+def resource_estimate(name: str, capacity: int) -> ResourceEstimate:
+    """Resource estimate of one architecture (exact counts, Table 1)."""
+    qram = build_architecture(name, capacity)
+    from repro.baselines.registry import ARCHITECTURES
+
+    return ResourceEstimate(
+        architecture=name,
+        capacity=capacity,
+        qubits=qram.qubit_count,
+        routers=_router_count(name, capacity),
+        query_parallelism=qram.query_parallelism,
+        qubit_group=ARCHITECTURES[name].qubit_group,
+    )
+
+
+def table1_rows(capacity: int) -> list[dict[str, object]]:
+    """All Table 1 rows (resources and latencies) for a given capacity."""
+    rows = []
+    for name in architecture_names():
+        qram = build_architecture(name, capacity)
+        estimate = resource_estimate(name, capacity)
+        rows.append(
+            {
+                "architecture": name,
+                "capacity": capacity,
+                "qubits": estimate.qubits,
+                "query_parallelism": estimate.query_parallelism,
+                "single_query_latency": qram.single_query_latency(),
+                "parallel_query_latency": qram.parallel_query_latency(
+                    validate_capacity(capacity)
+                ),
+                "amortized_query_latency": qram.amortized_query_latency(
+                    validate_capacity(capacity)
+                ),
+                "qubit_group": estimate.qubit_group,
+            }
+        )
+    return rows

@@ -1,0 +1,220 @@
+"""Discrete-event simulation of algorithms sharing one QRAM.
+
+This is the engine behind Fig. 7 (scheduling diagram / utilization) and
+Fig. 10 (synthetic-algorithm heat maps).  Each *algorithm* (running on its
+own QPU) alternates a QRAM query and ``d`` layers of local processing, for a
+fixed number of rounds.  The shared QRAM is described by a
+:class:`QRAMServiceModel` — its query latency, admission interval (pipeline
+interval) and query parallelism — so the same simulator covers BB, Fat-Tree,
+Virtual and the distributed baselines.
+
+All times are in weighted circuit layers (fast layers = 1/8).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class QRAMServiceModel:
+    """Timing description of a shared QRAM as seen by the scheduler.
+
+    Attributes:
+        name: architecture name (for reports).
+        query_latency: weighted layers from admission to completion of one
+            query.
+        admission_interval: minimum weighted layers between admissions
+            (equals ``query_latency`` for non-pipelined architectures).
+        parallelism: maximum queries in flight.
+    """
+
+    name: str
+    query_latency: float
+    admission_interval: float
+    parallelism: int
+
+    def __post_init__(self) -> None:
+        if self.query_latency <= 0 or self.admission_interval <= 0:
+            raise ValueError("latencies must be positive")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+
+    @classmethod
+    def from_architecture(cls, qram) -> "QRAMServiceModel":
+        """Build a service model from any registered architecture object."""
+        latency = qram.single_query_latency()
+        parallelism = qram.query_parallelism
+        if parallelism > 1:
+            interval = qram.amortized_query_latency()
+        else:
+            interval = latency
+        return cls(
+            name=getattr(qram, "name", type(qram).__name__),
+            query_latency=latency,
+            admission_interval=interval,
+            parallelism=parallelism,
+        )
+
+
+@dataclass
+class AlgorithmWorkload:
+    """One algorithm alternating queries and processing (Sec. 6.3).
+
+    Attributes:
+        algorithm_id: identifier.
+        rounds: number of (query, processing) repetitions.
+        processing_layers: QPU processing time ``d`` between queries.
+        start_time: when the algorithm starts.
+    """
+
+    algorithm_id: int
+    rounds: int
+    processing_layers: float
+    start_time: float = 0.0
+
+
+@dataclass
+class SimulationReport:
+    """Results of a shared-QRAM contention simulation.
+
+    Attributes:
+        model: the QRAM service model simulated.
+        overall_depth: completion time of the last algorithm (overall
+            algorithm depth, the quantity plotted in Fig. 10 a1/a2).
+        per_algorithm_finish: completion time of each algorithm.
+        qram_busy_layers: total layers during which at least one query was in
+            flight.
+        qram_query_layers: sum over queries of their service time (used for
+            utilization normalised by parallelism).
+        average_utilization: mean in-flight queries / parallelism over the
+            busy-or-waiting makespan (Fig. 10 b1/b2).
+        total_queries: number of queries served.
+        total_queue_delay: total layers queries spent waiting for admission.
+    """
+
+    model: QRAMServiceModel
+    overall_depth: float
+    per_algorithm_finish: dict[int, float]
+    qram_busy_layers: float
+    qram_query_layers: float
+    average_utilization: float
+    total_queries: int
+    total_queue_delay: float
+
+
+class SharedQRAMSimulation:
+    """Simulates algorithms contending for a shared QRAM."""
+
+    def __init__(self, model: QRAMServiceModel) -> None:
+        self.model = model
+
+    def run(self, workloads: list[AlgorithmWorkload]) -> SimulationReport:
+        """Run all workloads to completion and report depth / utilization."""
+        if not workloads:
+            raise ValueError("at least one workload is required")
+        model = self.model
+
+        # Event queue of (time, sequence, kind, algorithm_id).
+        events: list[tuple[float, int, str, int]] = []
+        sequence = 0
+        remaining = {w.algorithm_id: w.rounds for w in workloads}
+        processing = {w.algorithm_id: w.processing_layers for w in workloads}
+        finish_times: dict[int, float] = {}
+        for w in workloads:
+            if w.rounds < 1:
+                finish_times[w.algorithm_id] = w.start_time
+                continue
+            heapq.heappush(events, (w.start_time, sequence, "request", w.algorithm_id))
+            sequence += 1
+
+        waiting: list[tuple[float, int, int]] = []  # (request_time, seq, algorithm)
+        in_flight: list[float] = []
+        next_admission = 0.0
+        busy_intervals: list[tuple[float, float]] = []
+        query_intervals: list[tuple[float, float]] = []
+        total_queue_delay = 0.0
+        total_queries = 0
+
+        def try_admit(now: float) -> None:
+            nonlocal next_admission, sequence, total_queue_delay, total_queries
+            while waiting:
+                in_flight[:] = [f for f in in_flight if f > now]
+                if len(in_flight) >= model.parallelism or now < next_admission:
+                    break
+                request_time, _, algorithm = heapq.heappop(waiting)
+                start = now
+                finish = start + model.query_latency
+                in_flight.append(finish)
+                next_admission = start + model.admission_interval
+                busy_intervals.append((start, finish))
+                query_intervals.append((start, finish))
+                total_queue_delay += start - request_time
+                total_queries += 1
+                heapq.heappush(events, (finish, sequence, "complete", algorithm))
+                sequence += 1
+
+        def schedule_retry(now: float) -> None:
+            nonlocal sequence
+            if not waiting:
+                return
+            in_flight_active = [f for f in in_flight if f > now]
+            candidates = [next_admission]
+            if len(in_flight_active) >= model.parallelism and in_flight_active:
+                candidates.append(min(in_flight_active))
+            retry = max(now, min(candidates)) if candidates else now
+            if retry > now:
+                heapq.heappush(events, (retry, sequence, "retry", -1))
+                sequence += 1
+
+        while events:
+            now, _, kind, algorithm = heapq.heappop(events)
+            if kind == "request":
+                heapq.heappush(waiting, (now, sequence, algorithm))
+                sequence += 1
+            elif kind == "complete":
+                remaining[algorithm] -= 1
+                if remaining[algorithm] > 0:
+                    next_request = now + processing[algorithm]
+                    heapq.heappush(events, (next_request, sequence, "request", algorithm))
+                    sequence += 1
+                else:
+                    finish_times[algorithm] = now + processing[algorithm]
+            # retry events only trigger admission below
+            try_admit(now)
+            schedule_retry(now)
+
+        overall_depth = max(finish_times.values()) if finish_times else 0.0
+        busy = _merge_intervals(busy_intervals)
+        busy_layers = sum(end - start for start, end in busy)
+        query_layers = sum(end - start for start, end in query_intervals)
+        makespan = overall_depth if overall_depth > 0 else 1.0
+        average_utilization = min(
+            1.0, query_layers / (model.parallelism * makespan)
+        )
+        return SimulationReport(
+            model=model,
+            overall_depth=overall_depth,
+            per_algorithm_finish=finish_times,
+            qram_busy_layers=busy_layers,
+            qram_query_layers=query_layers,
+            average_utilization=average_utilization,
+            total_queries=total_queries,
+            total_queue_delay=total_queue_delay,
+        )
+
+
+def _merge_intervals(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Merge overlapping (start, end) intervals."""
+    if not intervals:
+        return []
+    ordered = sorted(intervals)
+    merged = [ordered[0]]
+    for start, end in ordered[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged

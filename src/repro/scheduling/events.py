@@ -1,0 +1,89 @@
+"""Query arrival streams for shared-QRAM scheduling experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, order=True)
+class QueryArrival:
+    """A query request arriving at the shared QRAM.
+
+    Attributes:
+        request_time: arrival time in weighted circuit layers.
+        qpu: identifier of the requesting QPU / algorithm.
+        query_id: unique identifier (assigned by the generator).
+    """
+
+    request_time: float
+    qpu: int
+    query_id: int
+
+
+def periodic_algorithm_arrivals(
+    num_algorithms: int,
+    queries_per_algorithm: int,
+    processing_layers: float,
+    query_latency: float,
+    stagger: float = 0.0,
+) -> list[QueryArrival]:
+    """Arrivals of algorithms that alternate querying and processing (Fig. 7).
+
+    Each algorithm issues a query, waits for it to complete (``query_latency``
+    layers), processes for ``processing_layers`` layers, and repeats.  The
+    *requests* generated here assume no queueing (they are the earliest times
+    each query could be issued); the contention simulator recomputes actual
+    issue times when the QRAM is busy.
+
+    Args:
+        num_algorithms: number of concurrent algorithms (QPUs).
+        queries_per_algorithm: queries each algorithm issues.
+        processing_layers: QPU processing time between queries.
+        query_latency: nominal query service time used for spacing requests.
+        stagger: offset between the start times of successive algorithms.
+    """
+    arrivals: list[QueryArrival] = []
+    query_id = 0
+    for qpu in range(num_algorithms):
+        start = qpu * stagger
+        for round_index in range(queries_per_algorithm):
+            request_time = start + round_index * (query_latency + processing_layers)
+            arrivals.append(QueryArrival(request_time, qpu, query_id))
+            query_id += 1
+    arrivals.sort()
+    return arrivals
+
+
+def random_arrivals(
+    num_queries: int,
+    mean_interarrival: float,
+    seed: int = 0,
+    num_qpus: int = 1,
+) -> list[QueryArrival]:
+    """Online workload: exponential interarrival times (Sec. 5.2)."""
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(mean_interarrival, size=num_queries)
+    times = np.cumsum(gaps)
+    return [
+        QueryArrival(float(t), int(i % num_qpus), int(i)) for i, t in enumerate(times)
+    ]
+
+
+def burst_arrivals(
+    num_bursts: int,
+    burst_size: int,
+    burst_spacing: float,
+    num_qpus: int = 1,
+) -> list[QueryArrival]:
+    """Bursty workload: ``burst_size`` simultaneous requests every
+    ``burst_spacing`` layers."""
+    arrivals = []
+    query_id = 0
+    for burst in range(num_bursts):
+        t = burst * burst_spacing
+        for i in range(burst_size):
+            arrivals.append(QueryArrival(t, i % num_qpus, query_id))
+            query_id += 1
+    return arrivals

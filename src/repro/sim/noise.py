@@ -1,0 +1,122 @@
+"""Kraus noise channels used by the density-matrix simulator and the
+analytic fidelity models.
+
+The paper's noise model (Sec. 8.1) is a generic per-gate channel
+``E(rho) = (1 - eps) rho + eps K rho K^dagger``; the channels here include the
+standard special cases (bit flip, phase flip, depolarizing, amplitude
+damping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+@dataclass(frozen=True)
+class NoiseChannel:
+    """A completely-positive trace-preserving map given by Kraus operators.
+
+    Attributes:
+        name: human-readable channel name.
+        kraus: tuple of single-qubit (or multi-qubit) Kraus matrices.
+        error_probability: the headline error rate of the channel (the
+            ``epsilon`` used in the paper's analytic fidelity bounds).
+    """
+
+    name: str
+    kraus: tuple[np.ndarray, ...]
+    error_probability: float
+
+    def __post_init__(self) -> None:
+        dim = self.kraus[0].shape[0]
+        total = np.zeros((dim, dim), dtype=complex)
+        for k in self.kraus:
+            if k.shape != (dim, dim):
+                raise ValueError("all Kraus operators must have the same shape")
+            total += k.conj().T @ k
+        if not np.allclose(total, np.eye(dim), atol=1e-9):
+            raise ValueError(f"channel {self.name} is not trace preserving")
+
+    @property
+    def dim(self) -> int:
+        return self.kraus[0].shape[0]
+
+    def apply(self, rho: np.ndarray) -> np.ndarray:
+        """Apply the channel to a density matrix of matching dimension."""
+        out = np.zeros_like(rho)
+        for k in self.kraus:
+            out += k @ rho @ k.conj().T
+        return out
+
+
+def bit_flip_channel(probability: float) -> NoiseChannel:
+    """X error with the given probability."""
+    _check_probability(probability)
+    return NoiseChannel(
+        "bit_flip",
+        (np.sqrt(1 - probability) * _I, np.sqrt(probability) * _X),
+        probability,
+    )
+
+
+def phase_flip_channel(probability: float) -> NoiseChannel:
+    """Z error with the given probability."""
+    _check_probability(probability)
+    return NoiseChannel(
+        "phase_flip",
+        (np.sqrt(1 - probability) * _I, np.sqrt(probability) * _Z),
+        probability,
+    )
+
+
+def depolarizing_channel(probability: float) -> NoiseChannel:
+    """Uniform X/Y/Z error with total probability ``probability``."""
+    _check_probability(probability)
+    p = probability / 3.0
+    return NoiseChannel(
+        "depolarizing",
+        (
+            np.sqrt(1 - probability) * _I,
+            np.sqrt(p) * _X,
+            np.sqrt(p) * _Y,
+            np.sqrt(p) * _Z,
+        ),
+        probability,
+    )
+
+
+def amplitude_damping_channel(gamma: float) -> NoiseChannel:
+    """Energy relaxation (T1 decay) with damping parameter ``gamma``."""
+    _check_probability(gamma)
+    k0 = np.array([[1, 0], [0, np.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, np.sqrt(gamma)], [0, 0]], dtype=complex)
+    return NoiseChannel("amplitude_damping", (k0, k1), gamma)
+
+
+def generic_kraus_channel(probability: float, kraus_operator: np.ndarray) -> NoiseChannel:
+    """The paper's generic channel ``(1-eps) rho + eps K rho K^dagger``.
+
+    ``kraus_operator`` must be unitary for the channel to be trace preserving.
+    """
+    _check_probability(probability)
+    kraus_operator = np.asarray(kraus_operator, dtype=complex)
+    return NoiseChannel(
+        "generic",
+        (
+            np.sqrt(1 - probability) * np.eye(kraus_operator.shape[0], dtype=complex),
+            np.sqrt(probability) * kraus_operator,
+        ),
+        probability,
+    )
+
+
+def _check_probability(probability: float) -> None:
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")

@@ -1,0 +1,17 @@
+"""Workload and trace generators used by examples, tests and benchmarks."""
+
+from repro.workloads.generators import (
+    random_address_superposition,
+    random_data,
+    structured_data,
+    uniform_superposition,
+    query_trace,
+)
+
+__all__ = [
+    "random_data",
+    "structured_data",
+    "uniform_superposition",
+    "random_address_superposition",
+    "query_trace",
+]

@@ -1,0 +1,78 @@
+"""Generators for classical memory contents, address superpositions and
+query traces."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bucket_brigade.tree import validate_capacity
+from repro.core.query import QueryRequest
+
+
+def random_data(capacity: int, seed: int = 0, density: float = 0.5) -> list[int]:
+    """Random classical memory with a given density of 1-bits."""
+    validate_capacity(capacity)
+    rng = np.random.default_rng(seed)
+    return [int(x) for x in (rng.random(capacity) < density)]
+
+
+def structured_data(capacity: int, pattern: str = "parity") -> list[int]:
+    """Deterministic memory patterns used by tests and examples.
+
+    Patterns: ``parity`` (popcount mod 2), ``alternating``, ``threshold``
+    (upper half set), ``single`` (only address 0 set).
+    """
+    validate_capacity(capacity)
+    if pattern == "parity":
+        return [bin(i).count("1") % 2 for i in range(capacity)]
+    if pattern == "alternating":
+        return [i % 2 for i in range(capacity)]
+    if pattern == "threshold":
+        return [1 if i >= capacity // 2 else 0 for i in range(capacity)]
+    if pattern == "single":
+        return [1 if i == 0 else 0 for i in range(capacity)]
+    raise ValueError(f"unknown pattern {pattern!r}")
+
+
+def uniform_superposition(capacity: int) -> dict[int, complex]:
+    """Equal-amplitude superposition over every address."""
+    validate_capacity(capacity)
+    amp = 1.0 / math.sqrt(capacity)
+    return {address: amp for address in range(capacity)}
+
+
+def random_address_superposition(
+    capacity: int, num_addresses: int, seed: int = 0
+) -> dict[int, complex]:
+    """Random superposition over a random subset of addresses.
+
+    Amplitudes are complex Gaussian and normalised.
+    """
+    validate_capacity(capacity)
+    if not 1 <= num_addresses <= capacity:
+        raise ValueError("num_addresses out of range")
+    rng = np.random.default_rng(seed)
+    addresses = rng.choice(capacity, size=num_addresses, replace=False)
+    raw = rng.normal(size=num_addresses) + 1j * rng.normal(size=num_addresses)
+    norm = np.linalg.norm(raw)
+    return {int(a): complex(x / norm) for a, x in zip(addresses, raw)}
+
+
+def query_trace(
+    capacity: int,
+    num_queries: int,
+    addresses_per_query: int = 2,
+    seed: int = 0,
+) -> list[QueryRequest]:
+    """A trace of query requests with random address superpositions."""
+    return [
+        QueryRequest(
+            query_id=i,
+            address_amplitudes=random_address_superposition(
+                capacity, addresses_per_query, seed=seed + i
+            ),
+        )
+        for i in range(num_queries)
+    ]

@@ -1,0 +1,124 @@
+"""Gate-level Fat-Tree executor: functional correctness of pipelined queries."""
+
+import pytest
+
+from repro.core import FatTreeQRAM, QueryRequest
+from repro.core.executor import FatTreeExecutor
+from repro.core.pipeline import PIPELINE_INTERVAL
+from repro.bucket_brigade.instructions import InstructionKind
+from repro.workloads import structured_data
+
+DATA8 = [1, 0, 1, 1, 0, 0, 1, 0]
+
+
+def test_relative_schedule_latency_is_10n_minus_1():
+    for capacity in (2, 4, 8, 16):
+        executor = FatTreeExecutor(capacity, [0] * capacity)
+        n = executor.address_width
+        assert executor.relative_raw_latency() == 10 * n - 1
+
+
+def test_relative_schedule_routes_only_with_outputs():
+    """No ROUTE ever targets a transient router (label == level), except the
+    data-coupled bottom level."""
+    executor = FatTreeExecutor(16, [0] * 16)
+    n = executor.address_width
+    for instr in executor.relative_schedule():
+        if instr.kind in (InstructionKind.ROUTE, InstructionKind.UNROUTE):
+            assert instr.label > instr.level or instr.level == n - 1
+
+
+def test_relative_schedule_has_expected_fast_layers():
+    executor = FatTreeExecutor(8, DATA8)
+    schedule = executor.relative_schedule()
+    migrations = [i for i in schedule if i.kind is InstructionKind.SWAP_MIGRATE]
+    retrievals = [i for i in schedule if i.kind is InstructionKind.CLASSICAL_GATES]
+    n = executor.address_width
+    assert len(migrations) == 2 * (n - 1)
+    assert len(retrievals) == 1
+    assert retrievals[0].raw_layer == 5 * n
+
+
+def test_single_query_fidelity_and_cleanliness():
+    qram = FatTreeQRAM(8, DATA8)
+    out = qram.query({0: 1, 3: 1j, 6: -1})
+    assert set(out) == {(0, 1), (3, 1), (6, 1)}
+    executor = qram.executor()
+    request = QueryRequest(0, {0: 1, 3: 1j, 6: -1})
+    _, outputs = executor.run_pipelined_queries([request], interval=40)
+    assert executor.query_fidelity(request, outputs[0]) == pytest.approx(1.0)
+    assert executor.tree_is_clean()
+
+
+def test_two_pipelined_queries_are_independent_and_correct():
+    executor = FatTreeExecutor(8, DATA8)
+    requests = [
+        QueryRequest(0, {1: 1.0, 4: -1.0}),
+        QueryRequest(1, {2: 1.0, 7: 1.0j}, initial_bus=1),
+    ]
+    summary, outputs = executor.run_pipelined_queries(requests, interval=22)
+    for request in requests:
+        assert executor.query_fidelity(request, outputs[request.query_id]) == pytest.approx(1.0)
+    assert executor.tree_is_clean()
+    assert summary.per_query_raw_latency == 29
+    assert summary.max_concurrent == 2
+
+
+def test_three_pipelined_queries_capacity8():
+    executor = FatTreeExecutor(8, structured_data(8, "parity"))
+    requests = [QueryRequest(i, {i: 1.0, (i + 3) % 8: 1.0}) for i in range(3)]
+    summary, outputs = executor.run_pipelined_queries(requests, interval=22)
+    for request in requests:
+        assert executor.query_fidelity(request, outputs[request.query_id]) == pytest.approx(1.0)
+    assert summary.total_layers == 2 * 22 + 29
+
+
+def test_minimum_feasible_interval_bounds():
+    executor = FatTreeExecutor(8, DATA8)
+    interval = executor.minimum_feasible_interval(2)
+    assert PIPELINE_INTERVAL <= interval <= executor.relative_raw_latency()
+    # Executing at that interval must be functionally correct.
+    requests = [QueryRequest(i, {i: 1.0}) for i in range(2)]
+    _, outputs = executor.run_pipelined_queries(requests, interval=interval)
+    for request in requests:
+        assert executor.query_fidelity(request, outputs[request.query_id]) == pytest.approx(1.0)
+
+
+def test_capacity4_pipelined_queries():
+    data = [0, 1, 1, 0]
+    executor = FatTreeExecutor(4, data)
+    requests = [QueryRequest(i, {0: 1.0, 3: 1.0}) for i in range(2)]
+    summary, outputs = executor.run_pipelined_queries(requests)
+    for request in requests:
+        assert executor.query_fidelity(request, outputs[request.query_id]) == pytest.approx(1.0)
+    assert summary.per_query_raw_latency == 19
+    assert executor.tree_is_clean()
+
+
+def test_resident_label_trajectory():
+    executor = FatTreeExecutor(8, DATA8)
+    lifetime = executor.relative_raw_latency()
+    labels = [executor.resident_label(r) for r in range(1, lifetime + 1)]
+    assert labels[0] == 0 and labels[-1] == 0
+    assert max(labels) == executor.address_width - 1
+    assert executor.resident_label(0) is None
+    assert executor.resident_label(lifetime + 1) is None
+
+
+def test_requests_require_amplitudes():
+    executor = FatTreeExecutor(4, [0, 1, 0, 1])
+    with pytest.raises(ValueError):
+        executor.run_pipelined_queries([QueryRequest(0)])
+    with pytest.raises(ValueError):
+        executor.run_pipelined_queries([])
+
+
+def test_qram_facade_resources():
+    qram = FatTreeQRAM(1024)
+    assert qram.qubit_count == 16 * 1024
+    assert qram.query_parallelism == 10
+    assert qram.num_routers == 2 * 1024 - 2 - 10
+    assert qram.raw_query_layers == 99
+    assert qram.single_query_latency() == pytest.approx(82.375)
+    assert qram.amortized_query_latency() == pytest.approx(8.25)
+    assert qram.bandwidth() == pytest.approx(121212.12, rel=1e-4)

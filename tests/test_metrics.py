@@ -1,0 +1,113 @@
+"""Tables 1-2 metrics and the Fig. 8 bandwidth scaling."""
+
+import math
+
+import pytest
+
+from repro.metrics import (
+    bandwidth_qubits_per_second,
+    bandwidth_scaling,
+    classical_memory_swap_budget_us,
+    latency_summary,
+    memory_access_rate,
+    resource_estimate,
+    spacetime_volume_per_query,
+    table1_rows,
+    table2_rows,
+)
+from repro.metrics.latency import closed_form_latency, latency_in_microseconds
+
+
+def test_table1_rows_complete():
+    rows = table1_rows(1024)
+    assert [r["architecture"] for r in rows] == ["Fat-Tree", "BB", "Virtual", "D-Fat-Tree", "D-BB"]
+    by_name = {r["architecture"]: r for r in rows}
+    assert by_name["Fat-Tree"]["qubits"] == 16 * 1024
+    assert by_name["Fat-Tree"]["single_query_latency"] == pytest.approx(82.375)
+    assert by_name["Fat-Tree"]["parallel_query_latency"] == pytest.approx(156.625)
+    assert by_name["Fat-Tree"]["amortized_query_latency"] == pytest.approx(8.25)
+    assert by_name["BB"]["parallel_query_latency"] == pytest.approx(801.25)
+    assert by_name["D-BB"]["qubits"] == 8 * 1024 * 10
+
+
+def test_model_latencies_match_closed_forms():
+    for name in ("Fat-Tree", "BB"):
+        for capacity in (64, 1024):
+            model = latency_summary(name, capacity)
+            closed = closed_form_latency(name, capacity)
+            assert model.single_query == pytest.approx(closed.single_query)
+            assert model.parallel_queries == pytest.approx(closed.parallel_queries)
+            assert model.amortized == pytest.approx(closed.amortized)
+
+
+def test_latency_unit_conversion():
+    assert latency_in_microseconds(8.25) == pytest.approx(8.25)
+    assert latency_in_microseconds(8.25, cswap_time_us=2.0) == pytest.approx(16.5)
+
+
+def test_resource_estimates():
+    estimate = resource_estimate("Fat-Tree", 1024)
+    assert estimate.routers == 2 * 1024 - 2 - 10
+    assert estimate.qubit_group == "O(N)"
+    assert resource_estimate("D-BB", 1024).qubit_group == "O(N log N)"
+    assert resource_estimate("BB", 1024).routers == 1023
+
+
+def test_table2_values_match_paper():
+    rows = {r["architecture"]: r for r in table2_rows(1024)}
+    assert rows["Fat-Tree"]["bandwidth_qubits_per_sec"] == pytest.approx(1.2121e5, rel=1e-3)
+    assert rows["Fat-Tree"]["spacetime_volume_per_query"] == pytest.approx(132 * 1024)
+    assert rows["Fat-Tree"]["memory_swap_budget_us"] == pytest.approx(8.25)
+    assert rows["BB"]["spacetime_volume_per_query"] == pytest.approx(64 * 1024 * 10 + 1024)
+    assert rows["BB"]["memory_swap_budget_us"] == pytest.approx(80.125)
+    assert rows["D-BB"]["bandwidth_qubits_per_sec"] == pytest.approx(10 * 1e6 / 80.125)
+    assert rows["D-Fat-Tree"]["bandwidth_qubits_per_sec"] == pytest.approx(1.2121e6, rel=1e-3)
+    assert rows["D-Fat-Tree"]["spacetime_volume_per_query"] == pytest.approx(132 * 1024)
+    assert rows["D-Fat-Tree"]["memory_swap_budget_us"] == pytest.approx(8.25)
+
+
+def test_fat_tree_bandwidth_independent_of_capacity():
+    capacities = [4, 16, 64, 256, 1024]
+    series = bandwidth_scaling(capacities, ["Fat-Tree", "BB", "Virtual"])
+    ft = series["Fat-Tree"]
+    assert all(v == pytest.approx(ft[0]) for v in ft)
+    # BB bandwidth decays with capacity; Virtual decays overall (small local
+    # non-monotonicities come from rounding the page count to a power of two).
+    assert series["BB"] == sorted(series["BB"], reverse=True)
+    assert series["Virtual"][0] > series["Virtual"][-1]
+    # Fat-Tree dominates both at every capacity in the O(N) group.
+    for i in range(len(capacities)):
+        assert ft[i] > series["BB"][i]
+        assert ft[i] > series["Virtual"][i]
+
+
+def test_memory_access_rate_scales_with_capacity():
+    small = memory_access_rate("Fat-Tree", 64)
+    large = memory_access_rate("Fat-Tree", 1024)
+    assert large == pytest.approx(small * 16)
+
+
+def test_swap_budget_ordering():
+    # Fat-Tree requires the fastest classical memory swapping (Table 2).
+    budget_ft = classical_memory_swap_budget_us("Fat-Tree", 1024)
+    budget_bb = classical_memory_swap_budget_us("BB", 1024)
+    budget_virtual = classical_memory_swap_budget_us("Virtual", 1024)
+    assert budget_ft < budget_bb < budget_virtual
+
+
+def test_spacetime_volume_ordering():
+    # Fat-Tree needs asymptotically less space-time volume per query.
+    for capacity in (64, 1024):
+        ft = spacetime_volume_per_query("Fat-Tree", capacity)
+        bb = spacetime_volume_per_query("BB", capacity)
+        virtual = spacetime_volume_per_query("Virtual", capacity)
+        assert ft < bb and ft < virtual
+    ratio_small = spacetime_volume_per_query("BB", 64) / spacetime_volume_per_query("Fat-Tree", 64)
+    ratio_large = spacetime_volume_per_query("BB", 1024) / spacetime_volume_per_query("Fat-Tree", 1024)
+    assert ratio_large > ratio_small      # gap grows ~ log N
+
+
+def test_bandwidth_with_wider_bus():
+    single = bandwidth_qubits_per_second("Fat-Tree", 256)
+    double = bandwidth_qubits_per_second("Fat-Tree", 256, bus_width=2)
+    assert double == pytest.approx(2 * single)

@@ -1,0 +1,138 @@
+"""FIFO scheduling, contention simulation and utilization (Sec. 5, Fig. 7)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import build_architecture
+from repro.scheduling import (
+    AlgorithmWorkload,
+    QRAMServiceModel,
+    SchedulingPolicy,
+    SharedQRAMSimulation,
+    burst_arrivals,
+    periodic_algorithm_arrivals,
+    random_arrivals,
+    schedule_queries,
+    total_latency,
+    verify_fifo_optimality,
+)
+from repro.scheduling.utilization import (
+    fig7_total_time,
+    steady_state_utilization,
+    utilization_from_busy_intervals,
+)
+
+
+def test_periodic_arrivals_structure():
+    arrivals = periodic_algorithm_arrivals(3, 4, processing_layers=10, query_latency=20)
+    assert len(arrivals) == 12
+    assert arrivals[0].request_time == 0.0
+    per_qpu = [a for a in arrivals if a.qpu == 1]
+    gaps = [b.request_time - a.request_time for a, b in zip(per_qpu, per_qpu[1:])]
+    assert all(g == pytest.approx(30.0) for g in gaps)
+
+
+def test_random_and_burst_arrivals():
+    arrivals = random_arrivals(20, 5.0, seed=3, num_qpus=4)
+    assert len(arrivals) == 20
+    assert all(a.request_time <= b.request_time for a, b in zip(arrivals, arrivals[1:]))
+    bursts = burst_arrivals(3, 5, 100.0)
+    assert len(bursts) == 15
+    assert bursts[5].request_time == pytest.approx(100.0)
+
+
+def test_fifo_schedule_respects_interval_and_parallelism():
+    arrivals = burst_arrivals(1, 6, 100.0)
+    scheduled = schedule_queries(
+        arrivals, service_time=24.625, admission_interval=8.25, parallelism=3
+    )
+    starts = sorted(s.start_time for s in scheduled)
+    # Admissions at least one interval apart.
+    assert all(b - a >= 8.25 - 1e-9 for a, b in zip(starts, starts[1:]))
+    # Never more than 3 in flight.
+    for s in scheduled:
+        concurrent = sum(
+            1 for t in scheduled if t.start_time <= s.start_time < t.finish_time
+        )
+        assert concurrent <= 3
+
+
+def test_fifo_is_optimal_for_random_workloads():
+    for seed in range(3):
+        arrivals = random_arrivals(5, 15.0, seed=seed)
+        assert verify_fifo_optimality(
+            arrivals, service_time=24.625, admission_interval=8.25, parallelism=3
+        )
+
+
+def test_fifo_not_worse_than_other_policies():
+    arrivals = random_arrivals(8, 10.0, seed=7)
+    fifo = total_latency(schedule_queries(arrivals, 24.625, 8.25, 3))
+    lifo = total_latency(schedule_queries(arrivals, 24.625, 8.25, 3, SchedulingPolicy.LIFO))
+    rnd = total_latency(
+        schedule_queries(arrivals, 24.625, 8.25, 3, SchedulingPolicy.RANDOM, seed=5)
+    )
+    assert fifo <= lifo + 1e-9
+    assert fifo <= rnd + 1e-9
+
+
+def test_service_model_from_architectures():
+    ft = QRAMServiceModel.from_architecture(build_architecture("Fat-Tree", 1024))
+    bb = QRAMServiceModel.from_architecture(build_architecture("BB", 1024))
+    assert ft.parallelism == 10 and bb.parallelism == 1
+    assert ft.admission_interval == pytest.approx(8.25)
+    assert bb.admission_interval == pytest.approx(bb.query_latency)
+    with pytest.raises(ValueError):
+        QRAMServiceModel("bad", -1, 1, 1)
+
+
+def test_contention_simulation_single_algorithm():
+    model = QRAMServiceModel("Fat-Tree", query_latency=24.625, admission_interval=8.25, parallelism=3)
+    report = SharedQRAMSimulation(model).run(
+        [AlgorithmWorkload(0, rounds=3, processing_layers=10.0)]
+    )
+    # 3 rounds of (query + processing) executed strictly sequentially.
+    assert report.overall_depth == pytest.approx(3 * (24.625 + 10.0))
+    assert report.total_queries == 3
+    assert report.total_queue_delay == pytest.approx(0.0)
+
+
+def test_fat_tree_scales_better_than_bb_under_contention():
+    ft = build_architecture("Fat-Tree", 1024)
+    bb = build_architecture("BB", 1024)
+    workloads = [AlgorithmWorkload(i, rounds=5, processing_layers=40.0) for i in range(10)]
+    ft_report = SharedQRAMSimulation(QRAMServiceModel.from_architecture(ft)).run(workloads)
+    bb_report = SharedQRAMSimulation(QRAMServiceModel.from_architecture(bb)).run(workloads)
+    assert ft_report.overall_depth < bb_report.overall_depth / 3
+    assert ft_report.total_queue_delay < bb_report.total_queue_delay
+
+
+def test_utilization_helpers():
+    util = utilization_from_busy_intervals([(0, 10), (5, 15)], horizon=20, parallelism=1)
+    assert util == pytest.approx(1.0)
+    util = utilization_from_busy_intervals([(0, 10)], horizon=20, parallelism=2)
+    assert util == pytest.approx(0.25)
+    with pytest.raises(ValueError):
+        utilization_from_busy_intervals([], horizon=0)
+    assert steady_state_utilization(0.0, 24.625, 8.25, 10, 10) <= 1.0
+    assert steady_state_utilization(10.0, 24.625, 8.25, 10, 0) == 0.0
+    assert fig7_total_time(3, 20) == pytest.approx(30 * 3 + 2 * 20 + 17)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_algorithms=st.integers(min_value=1, max_value=12),
+    ratio=st.floats(min_value=0.0, max_value=2.0),
+)
+def test_simulation_invariants(num_algorithms, ratio):
+    """Utilization is in [0, 1]; depth is at least one algorithm's serial time."""
+    model = QRAMServiceModel("Fat-Tree", 24.625, 8.25, 3)
+    workloads = [
+        AlgorithmWorkload(i, rounds=4, processing_layers=ratio * 24.625)
+        for i in range(num_algorithms)
+    ]
+    report = SharedQRAMSimulation(model).run(workloads)
+    serial = 4 * (24.625 + ratio * 24.625)
+    assert report.overall_depth >= serial - 1e-6
+    assert 0.0 <= report.average_utilization <= 1.0
+    assert report.total_queries == 4 * num_algorithms
