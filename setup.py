@@ -1,11 +1,25 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Setuptools configuration (src layout).
 
-The project is fully described by ``pyproject.toml``; this file exists so
-that legacy editable installs (``pip install -e . --no-use-pep517`` or
-``python setup.py develop``) work in offline environments where the
-``wheel`` backend is unavailable.
+The package metadata lives here (no ``pyproject.toml``) so that
+``pip install -e .`` and legacy ``python setup.py develop`` both work in
+offline environments without the ``wheel``/PEP 517 backends; the ``repro``
+package is exposed from ``src/``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="fat-tree-qram",
+    version="1.0.0",
+    description=(
+        "Reproduction of Fat-Tree QRAM: a high-bandwidth shared quantum "
+        "random access memory (ASPLOS 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+)

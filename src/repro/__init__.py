@@ -29,6 +29,7 @@ from repro.baselines.virtual_qram import VirtualQRAM
 from repro.core.pipeline import FatTreePipeline
 from repro.core.qram import FatTreeQRAM
 from repro.core.query import QueryRequest, QueryResult
+from repro.service import InterleavedShardMap, QRAMService, ServiceReport
 
 __version__ = "1.0.0"
 
@@ -41,6 +42,9 @@ __all__ = [
     "FatTreePipeline",
     "QueryRequest",
     "QueryResult",
+    "QRAMService",
+    "ServiceReport",
+    "InterleavedShardMap",
     "ARCHITECTURES",
     "architecture_names",
     "build_architecture",

@@ -22,7 +22,7 @@ Two levels of fidelity to the paper:
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.bucket_brigade.instructions import (
     Instruction,
@@ -74,6 +74,21 @@ class FatTreeExecutor:
         self.data = [int(x) & 1 for x in data]
         self.structure = FatTreeStructure(capacity)
         self.namer: QubitNamer = self.structure.namer
+        # Memoization of the static schedule artefacts: the relative schedule
+        # only depends on (capacity, query id), the lowered gate sequence of
+        # an instruction only on its (kind, query, item, level, label)
+        # identity, and the minimum feasible interval only on the capacity —
+        # none of them need to be re-derived on every run_pipelined_queries
+        # call.
+        self._schedule_cache: dict[int, list[Instruction]] = {}
+        self._lowered_cache: dict[
+            tuple[InstructionKind, int, int, int, int], list
+        ] = {}
+        self._min_interval_cache: int | None = None
+        self._locations_cache: dict[Instruction, frozenset] = {}
+
+    #: Distinct query ids whose schedules are kept memoized at once.
+    _CACHE_LIMIT = 128
 
     @property
     def capacity(self) -> int:
@@ -90,7 +105,37 @@ class FatTreeExecutor:
         The gate ordering is the BB bit-pipelined schedule; sub-QRAM
         migrations are inserted just in time (right before the first gate
         that needs the larger sub-QRAM) and mirrored during unloading.
+
+        The schedule is memoized: repeated calls (and repeated pipelined
+        runs) return the same cached instruction list.  Schedules of
+        different query ids share their structure and differ only in the
+        ``query`` field, so they are derived from the query-0 schedule
+        instead of being rebuilt.
         """
+        cached = self._schedule_cache.get(query)
+        if cached is not None:
+            return cached
+        if len(self._schedule_cache) >= self._CACHE_LIMIT:
+            # Callers that keep minting fresh query ids (e.g. a long trace
+            # driven through parallel_queries directly) must not grow the
+            # per-id caches without bound; keep the structural query-0 entry
+            # and evict the rest.
+            base = self._schedule_cache.get(0)
+            self._schedule_cache = {} if base is None else {0: base}
+            self._lowered_cache = {
+                key: ops for key, ops in self._lowered_cache.items() if key[1] == -1
+            }
+        if query != 0:
+            schedule = [
+                replace(instr, query=query) for instr in self.relative_schedule(0)
+            ]
+            self._schedule_cache[query] = schedule
+            return schedule
+        schedule = self._build_relative_schedule(query)
+        self._schedule_cache[query] = schedule
+        return schedule
+
+    def _build_relative_schedule(self, query: int) -> list[Instruction]:
         n = self._n
         gate_instrs = self._bb_like_gate_schedule(query)
         instructions: list[Instruction] = []
@@ -231,15 +276,23 @@ class FatTreeExecutor:
         """
         if num_queries < 2:
             return PIPELINE_INTERVAL
+        if self._min_interval_cache is not None:
+            return self._min_interval_cache
         base = self.relative_schedule(0)
+        by_layer: dict[int, list[Instruction]] = {}
+        for instr in base:
+            by_layer.setdefault(instr.raw_layer, []).append(instr)
         lifetime = self.relative_raw_latency()
+        result = 10 * self._n  # fully sequential fallback (never reached)
         for interval in range(PIPELINE_INTERVAL, 10 * self._n + 1):
-            if self._interval_is_feasible(base, interval, lifetime):
-                return interval
-        return 10 * self._n  # fully sequential fallback (never reached)
+            if self._interval_is_feasible(by_layer, interval, lifetime):
+                result = interval
+                break
+        self._min_interval_cache = result
+        return result
 
     def _interval_is_feasible(
-        self, base: list[Instruction], interval: int, lifetime: int
+        self, by_layer: dict[int, list[Instruction]], interval: int, lifetime: int
     ) -> bool:
         """Check all pairwise offsets that can overlap at this interval."""
         max_shift = (lifetime // interval) + 1
@@ -247,7 +300,7 @@ class FatTreeExecutor:
             offset = k * interval
             if offset >= lifetime:
                 break
-            if not self._offset_is_conflict_free(base, offset):
+            if not self._offset_is_conflict_free(by_layer, offset):
                 return False
         return True
 
@@ -273,10 +326,17 @@ class FatTreeExecutor:
                 label -= 1
         return label
 
-    def _offset_is_conflict_free(self, base: list[Instruction], offset: int) -> bool:
-        by_layer: dict[int, list[Instruction]] = {}
-        for instr in base:
-            by_layer.setdefault(instr.raw_layer, []).append(instr)
+    def _touched(self, instr: Instruction) -> frozenset:
+        """Qubit-group locations an instruction acts on, cached by identity."""
+        locations = self._locations_cache.get(instr)
+        if locations is None:
+            locations = frozenset(_touched_locations(instr))
+            self._locations_cache[instr] = locations
+        return locations
+
+    def _offset_is_conflict_free(
+        self, by_layer: dict[int, list[Instruction]], offset: int
+    ) -> bool:
         lifetime = self.relative_raw_latency()
         for layer, instrs in by_layer.items():
             other_layer = layer - offset
@@ -286,9 +346,7 @@ class FatTreeExecutor:
                 for b in others:
                     if _compatible_shared_swap(a, b):
                         continue
-                    locations_a = set(_touched_locations(a))
-                    locations_b = set(_touched_locations(b))
-                    if locations_a & locations_b:
+                    if self._touched(a) & self._touched(b):
                         return False
             # (b) migrations must not move qubits where the *other* query is
             #     merely resident (its stored bits and waiting items), unless
@@ -387,14 +445,7 @@ class FatTreeExecutor:
                     if key in executed_swaps:
                         continue
                     executed_swaps.add(key)
-                operations = lower_instruction(
-                    instr,
-                    self.namer,
-                    self._n,
-                    data=self.data,
-                    leaf_label=self._n - 1,
-                )
-                for op in operations:
+                for op in self._lowered_operations(instr):
                     state.apply_operation(op)
 
         # Undo the bus basis change and collect outputs.
@@ -420,7 +471,9 @@ class FatTreeExecutor:
                     query_id=request.query_id,
                     start_layer=start_layer,
                     finish_layer=finish_layer,
-                    latency_layers=finish_layer - request.request_time,
+                    latency_layers=finish_layer - start_layer + 1,
+                    request_time=request.request_time,
+                    request_to_finish=finish_layer - request.request_time,
                     amplitudes=outputs[request.query_id],
                     status=QueryStatus.COMPLETED,
                 )
@@ -435,6 +488,39 @@ class FatTreeExecutor:
         )
         self._final_state = state
         return summary, outputs
+
+    #: Instruction kinds whose lowering names per-query external qubits
+    #: (address / bus registers); everything else acts on tree qubits only
+    #: and lowers identically for every query.
+    _QUERY_SENSITIVE_KINDS = frozenset(
+        {InstructionKind.LOAD, InstructionKind.UNLOAD}
+    )
+
+    def _lowered_operations(self, instr: Instruction):
+        """Lowered gate sequence of an instruction, cached by identity.
+
+        Lowering depends on (kind, item, level, label) and on the classical
+        data — which is fixed for the executor's lifetime — never on the
+        absolute raw layer, so merged absolute schedules reuse the lowered
+        operations of the relative schedule across runs.  The query id only
+        matters for LOAD/UNLOAD (which touch the query's external address /
+        bus qubits), so all other kinds share one cache entry across
+        queries, keeping the cache bounded by the schedule size rather than
+        by the number of distinct query ids ever served.
+        """
+        query_key = instr.query if instr.kind in self._QUERY_SENSITIVE_KINDS else -1
+        key = (instr.kind, query_key, instr.item, instr.level, instr.label)
+        operations = self._lowered_cache.get(key)
+        if operations is None:
+            operations = lower_instruction(
+                instr,
+                self.namer,
+                self._n,
+                data=self.data,
+                leaf_label=self._n - 1,
+            )
+            self._lowered_cache[key] = operations
+        return operations
 
     @staticmethod
     def _max_concurrent(num_queries: int, interval: int, lifetime: int) -> int:

@@ -155,8 +155,28 @@ class FatTreePipeline:
         return fat_tree_parallel_query_latency(self._capacity, self.num_queries)
 
     def amortized_weighted_latency(self) -> float:
-        """Weighted steady-state amortized latency per query (8.25)."""
-        return fat_tree_amortized_query_latency(self._capacity)
+        """Weighted steady-state amortized latency per query.
+
+        One query is admitted every ``start_interval`` raw layers, so the
+        amortized per-query cost is the weighted cost of one admission
+        interval (8.25 for the paper's default 10-layer interval).
+        """
+        return self.interval_weighted_cost()
+
+    def interval_weighted_cost(self) -> float:
+        """Weighted cost of one admission interval of ``start_interval`` raw
+        layers.
+
+        Every :data:`SWAP_CADENCE`-th raw layer is a fast layer (the swap /
+        data-retrieval cadence of Alg. 1), so in steady state an interval of
+        ``s`` raw layers contains ``s / 5`` fast layers on average — for an
+        ``s`` not a multiple of 5, successive intervals alternate between
+        ``floor(s/5)`` and ``ceil(s/5)`` cadence layers depending on their
+        alignment, and the amortized cost is the fractional average.  For
+        the default ``s = 10`` this is ``8 + 2/8 = 8.25`` weighted layers.
+        """
+        per_cadence = (SWAP_CADENCE - 1) * FULL_LAYER_COST + FAST_LAYER_COST
+        return self.start_interval * per_cadence / SWAP_CADENCE
 
     # ------------------------------------------------------- label occupancy
     def label_at(self, query_id: int, raw_layer: int) -> int | None:
@@ -248,12 +268,15 @@ class FatTreePipeline:
     def bandwidth(self, clops: float = 1.0e6) -> float:
         """Sustained query bandwidth in qubits/second at the given clock.
 
-        One bus qubit is delivered per pipeline interval of 8 full + 2 fast
-        layers = 8.25 weighted layers; at ``clops`` full layers per second the
-        bandwidth is ``clops / 8.25`` (1.21e5 for the paper's 1 MHz CLOPS).
+        One bus qubit is delivered per admission interval; at the default
+        10-raw-layer interval that is 8 full + 2 fast layers = 8.25 weighted
+        layers, giving ``clops / 8.25`` (1.21e5 for the paper's 1 MHz CLOPS).
+        A pipeline built with a larger ``start_interval`` delivers
+        proportionally less bandwidth.
         """
-        return clops / float(self.amortized_weighted_latency())
+        return clops / float(self.interval_weighted_cost())
 
     def exact_amortized_latency(self) -> Fraction:
-        """Amortized latency as an exact fraction (33/4 weighted layers)."""
-        return Fraction(33, 4)
+        """Amortized latency as an exact fraction (33/4 weighted layers for
+        the default interval): ``s * (4 + 1/8) / 5 = 33 s / 40``."""
+        return Fraction(33 * self.start_interval, 40)

@@ -41,11 +41,22 @@ class QueryRequest:
 class QueryResult:
     """Outcome of a query.
 
+    All ``*_layers`` fields are raw circuit layers on the same time base as
+    ``start_layer`` / ``finish_layer``; request-to-finish time is reported
+    separately so that service latency (a pure layer count) is never mixed
+    with the arrival clock of the request.
+
     Attributes:
         query_id: identifier of the originating request.
         start_layer: raw circuit layer at which the query entered the QRAM.
         finish_layer: raw circuit layer at which it completed.
-        latency_layers: raw-layer latency including any queueing delay.
+        latency_layers: raw layers spent inside the QRAM, from admission to
+            completion (``finish_layer - start_layer + 1``).
+        request_time: arrival time of the originating request, in raw layers
+            on the same clock as ``start_layer`` (0 when unknown).
+        request_to_finish: raw layers from request arrival to completion,
+            i.e. queueing delay plus service time
+            (``finish_layer - request_time``).
         weighted_latency: latency in weighted circuit layers (fast layers
             count 1/8).
         amplitudes: output amplitudes over ``(address, bus)`` pairs, when a
@@ -57,6 +68,8 @@ class QueryResult:
     start_layer: float
     finish_layer: float
     latency_layers: float
+    request_time: float = 0.0
+    request_to_finish: float = 0.0
     weighted_latency: float = 0.0
     amplitudes: dict[tuple[int, int], complex] = field(default_factory=dict)
     status: QueryStatus = QueryStatus.COMPLETED
@@ -65,3 +78,8 @@ class QueryResult:
     def service_layers(self) -> float:
         """Raw layers spent inside the QRAM (excludes queueing)."""
         return self.finish_layer - self.start_layer + 1
+
+    @property
+    def queue_delay_layers(self) -> float:
+        """Raw layers the request waited before being admitted."""
+        return self.start_layer - self.request_time

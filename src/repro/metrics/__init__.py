@@ -6,6 +6,8 @@
   (Table 2, Fig. 8).
 * :mod:`repro.metrics.spacetime` — space-time volume per query and the
   classical-memory-swap time budget (Table 2).
+* :mod:`repro.metrics.service_stats` — per-tenant / per-shard serving
+  statistics for the traffic-facing service layer (:mod:`repro.service`).
 """
 
 from repro.metrics.resources import ResourceEstimate, resource_estimate, table1_rows
@@ -20,6 +22,14 @@ from repro.metrics.spacetime import (
     spacetime_volume_per_query,
     table2_rows,
 )
+from repro.metrics.service_stats import (
+    ServedQuery,
+    ServiceStats,
+    ShardStats,
+    TenantStats,
+    WindowRecord,
+    summarize_service,
+)
 
 __all__ = [
     "ResourceEstimate",
@@ -33,4 +43,10 @@ __all__ = [
     "spacetime_volume_per_query",
     "classical_memory_swap_budget_us",
     "table2_rows",
+    "ServedQuery",
+    "ServiceStats",
+    "ShardStats",
+    "TenantStats",
+    "WindowRecord",
+    "summarize_service",
 ]

@@ -26,7 +26,7 @@ def bandwidth_qubits_per_second(
     validate_capacity(capacity)
     if hasattr(qram, "bandwidth"):
         return bus_width * qram.bandwidth(parameters.clops)
-    amortized = qram.amortized_query_latency(qram.query_parallelism)
+    amortized = qram.amortized_query_latency()
     return bus_width * parameters.clops / amortized
 
 

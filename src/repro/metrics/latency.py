@@ -71,7 +71,8 @@ def latency_summary(name: str, capacity: int) -> LatencySummary:
         name,
         qram.single_query_latency(),
         qram.parallel_query_latency(n),
-        qram.amortized_query_latency(n),
+        # Steady-state amortized latency (Table 1 bottom row).
+        qram.amortized_query_latency(),
     )
 
 

@@ -1,0 +1,193 @@
+"""Per-tenant / per-shard serving statistics for the QRAM service layer.
+
+The serving subsystem (:mod:`repro.service`) records one
+:class:`ServedQuery` per completed request and one :class:`WindowRecord`
+per executed pipeline window; this module aggregates them into the
+latency / queue-depth / utilization / bandwidth summaries that a shared
+memory serving many callers is judged by.
+
+All times are raw circuit layers on the service clock.  Conversions to
+wall-clock treat one raw layer as one full CSWAP layer at the hardware
+CLOPS — a conservative clock, since fast layers (1/8 cost) are counted
+at full weight.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ServedQuery:
+    """One completed request, as recorded by the serving loop.
+
+    Attributes:
+        query_id: identifier of the originating request.
+        tenant: requesting tenant (QPU / algorithm id).
+        shard: shard that served the query.
+        request_time: arrival time (raw layers).
+        admit_layer: when the query's pipeline window was admitted.
+        start_layer: first raw layer of the query inside its window.
+        finish_layer: raw layer at which the query completed.
+        fidelity: |<ideal|actual>|^2 of the output register (None for
+            timing-only serving).
+    """
+
+    query_id: int
+    tenant: int
+    shard: int
+    request_time: float
+    admit_layer: float
+    start_layer: float
+    finish_layer: float
+    fidelity: float | None = None
+
+    @property
+    def latency_layers(self) -> float:
+        """Request-to-finish latency (queueing + service), raw layers."""
+        return self.finish_layer - self.request_time
+
+    @property
+    def queue_delay_layers(self) -> float:
+        """Raw layers the request waited before its window was admitted."""
+        return self.admit_layer - self.request_time
+
+
+@dataclass(frozen=True)
+class WindowRecord:
+    """One executed pipeline window on one shard.
+
+    Attributes:
+        shard: shard the window ran on.
+        admit_layer: when the window started.
+        batch_size: queries admitted into the window.
+        interval: admission interval used inside the window (raw layers).
+        total_layers: raw layers until the window fully drained.
+    """
+
+    shard: int
+    admit_layer: float
+    batch_size: int
+    interval: int
+    total_layers: float
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """Serving quality observed by one tenant."""
+
+    tenant: int
+    queries: int
+    mean_latency_layers: float
+    max_latency_layers: float
+    mean_queue_delay_layers: float
+    throughput_queries_per_sec: float
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Load placed on one shard."""
+
+    shard: int
+    queries: int
+    windows: int
+    mean_batch_size: float
+    busy_layers: float
+    utilization: float
+    max_queue_depth: int
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Aggregate serving report.
+
+    Attributes:
+        total_queries: queries served.
+        makespan_layers: raw layers from time 0 to the last completion.
+        mean_latency_layers: mean request-to-finish latency.
+        mean_queue_delay_layers: mean admission delay.
+        bandwidth_queries_per_sec: served queries per second at the given
+            CLOPS (raw layers counted as full layers).
+        per_tenant: per-tenant summaries, keyed by tenant id.
+        per_shard: per-shard summaries, keyed by shard index.
+    """
+
+    total_queries: int
+    makespan_layers: float
+    mean_latency_layers: float
+    mean_queue_delay_layers: float
+    bandwidth_queries_per_sec: float
+    per_tenant: dict[int, TenantStats] = field(default_factory=dict)
+    per_shard: dict[int, ShardStats] = field(default_factory=dict)
+
+
+def summarize_service(
+    served: Sequence[ServedQuery],
+    windows: Sequence[WindowRecord],
+    max_queue_depth: dict[int, int] | None = None,
+    clops: float = 1.0e6,
+) -> ServiceStats:
+    """Aggregate served-query and window records into a :class:`ServiceStats`.
+
+    Args:
+        served: one record per completed query.
+        windows: one record per executed pipeline window.
+        max_queue_depth: deepest per-shard queue observed by the serving
+            loop (defaults to 0 for every shard).
+        clops: hardware clock in full circuit layers per second.
+    """
+    if not served:
+        raise ValueError("at least one served query is required")
+    depths = max_queue_depth or {}
+    makespan = max(s.finish_layer for s in served)
+    seconds = makespan / clops if makespan > 0 else float("inf")
+
+    by_tenant: dict[int, list[ServedQuery]] = {}
+    by_shard: dict[int, list[ServedQuery]] = {}
+    for record in served:
+        by_tenant.setdefault(record.tenant, []).append(record)
+        by_shard.setdefault(record.shard, []).append(record)
+
+    per_tenant = {
+        tenant: TenantStats(
+            tenant=tenant,
+            queries=len(records),
+            mean_latency_layers=_mean([r.latency_layers for r in records]),
+            max_latency_layers=max(r.latency_layers for r in records),
+            mean_queue_delay_layers=_mean([r.queue_delay_layers for r in records]),
+            throughput_queries_per_sec=len(records) / seconds,
+        )
+        for tenant, records in sorted(by_tenant.items())
+    }
+
+    windows_by_shard: dict[int, list[WindowRecord]] = {}
+    for window in windows:
+        windows_by_shard.setdefault(window.shard, []).append(window)
+    per_shard = {}
+    for shard, records in sorted(by_shard.items()):
+        shard_windows = windows_by_shard.get(shard, [])
+        busy = sum(w.total_layers for w in shard_windows)
+        per_shard[shard] = ShardStats(
+            shard=shard,
+            queries=len(records),
+            windows=len(shard_windows),
+            mean_batch_size=_mean([w.batch_size for w in shard_windows]),
+            busy_layers=busy,
+            utilization=min(1.0, busy / makespan) if makespan > 0 else 0.0,
+            max_queue_depth=depths.get(shard, 0),
+        )
+
+    return ServiceStats(
+        total_queries=len(served),
+        makespan_layers=makespan,
+        mean_latency_layers=_mean([s.latency_layers for s in served]),
+        mean_queue_delay_layers=_mean([s.queue_delay_layers for s in served]),
+        bandwidth_queries_per_sec=len(served) / seconds,
+        per_tenant=per_tenant,
+        per_shard=per_shard,
+    )
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

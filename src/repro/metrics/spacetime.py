@@ -19,7 +19,7 @@ def spacetime_volume_per_query(name: str, capacity: int) -> float:
     # The amortized latency of a *fully loaded* architecture: this is what
     # makes D-Fat-Tree cost 132 N like Fat-Tree despite its log N copies.
     if name in ("Fat-Tree", "D-Fat-Tree"):
-        amortized = qram.amortized_query_latency(qram.query_parallelism)
+        amortized = qram.amortized_query_latency()
         if name == "D-Fat-Tree":
             amortized = qram.copies[0].amortized_query_latency() / qram.num_copies
     else:
@@ -42,7 +42,7 @@ def classical_memory_swap_budget_us(
     qram = build_architecture(name, capacity)
     if name in ("Fat-Tree", "D-Fat-Tree"):
         # Retrievals happen once per pipeline interval (8.25 weighted layers).
-        weighted_layers = qram.amortized_query_latency(1)
+        weighted_layers = qram.amortized_query_latency()
         if name == "D-Fat-Tree":
             weighted_layers = qram.copies[0].amortized_query_latency()
     else:

@@ -1,0 +1,17 @@
+"""QRAM serving layer: multi-shard, batched, policy-driven traffic front-end.
+
+* :mod:`repro.service.sharding` — address-interleaved sharding of the
+  global address space over independent Fat-Tree QRAM shards.
+* :mod:`repro.service.service` — the :class:`QRAMService` event loop:
+  trace admission, per-shard pipeline windows of up to ``log2(N/K)``
+  queries, pluggable scheduling policy, per-tenant statistics.
+"""
+
+from repro.service.service import QRAMService, ServiceReport
+from repro.service.sharding import InterleavedShardMap
+
+__all__ = [
+    "QRAMService",
+    "ServiceReport",
+    "InterleavedShardMap",
+]

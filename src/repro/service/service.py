@@ -1,0 +1,299 @@
+"""Traffic-facing QRAM serving layer (multi-shard, batched, policy-driven).
+
+The paper establishes that one Fat-Tree QRAM sustains ``log2(N)``
+concurrent queries; this module turns that capability into a *service*: a
+:class:`QRAMService` owns one or more Fat-Tree shards (address-interleaved
+via :class:`repro.service.sharding.InterleavedShardMap`), accepts traces of
+:class:`repro.core.query.QueryRequest` objects with arrival times, and
+drives an event loop that batches queued requests into pipeline windows of
+up to ``log2(N / K)`` queries per shard.  Admission order within a queue is
+a pluggable :class:`repro.scheduling.fifo.SchedulingPolicy` (FIFO is
+provably latency-optimal, Sec. A.2).
+
+Each shard reuses one cached gate-level executor, so the relative schedule,
+the lowered gate sequences and the minimum feasible admission interval are
+derived once per memory image and hit their memoized values on every
+window — the schedule-cache fast path measured by
+``benchmarks/bench_service_throughput.py``.
+
+All service times are raw circuit layers on one global clock; per-tenant
+latency / queue-depth / utilization / bandwidth summaries come from
+:mod:`repro.metrics.service_stats`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.qram import FatTreeQRAM
+from repro.core.query import QueryRequest
+from repro.metrics.service_stats import (
+    ServedQuery,
+    ServiceStats,
+    WindowRecord,
+    summarize_service,
+)
+from repro.scheduling.fifo import SchedulingPolicy
+from repro.service.sharding import InterleavedShardMap
+
+
+@dataclass
+class ServiceReport:
+    """Everything the serving loop observed while draining one trace.
+
+    Attributes:
+        served: one record per completed query, in completion order.
+        windows: one record per executed pipeline window.
+        stats: aggregated per-tenant / per-shard statistics.
+        outputs: per-query output amplitudes over global ``(address, bus)``
+            pairs (empty when serving timing-only).
+    """
+
+    served: list[ServedQuery]
+    windows: list[WindowRecord]
+    stats: ServiceStats
+    outputs: dict[int, dict[tuple[int, int], complex]] = field(default_factory=dict)
+
+    def result_for(self, query_id: int) -> ServedQuery:
+        """The served record of one query id."""
+        for record in self.served:
+            if record.query_id == query_id:
+                return record
+        raise KeyError(query_id)
+
+
+class QRAMService:
+    """A multi-shard Fat-Tree QRAM serving query traffic.
+
+    Args:
+        capacity: global address-space size ``N`` (power of two).
+        num_shards: number of address-interleaved Fat-Tree shards.
+        data: global classical memory contents (defaults to zeros).
+        policy: admission order among queued requests per shard.
+        window_size: maximum queries batched into one pipeline window.
+            Defaults to — and is capped at — the shard's query parallelism
+            ``log2(N / K)``: the architecture cannot pipeline more queries
+            concurrently, and oversized windows only grow the simulated
+            state exponentially.
+        functional: when True every window runs on the gate-level executor
+            and output amplitudes / fidelities are reported; when False the
+            service is timing-only (same schedule, no state evolution).
+        seed: RNG seed for the RANDOM policy.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        num_shards: int = 2,
+        data: Sequence[int] | None = None,
+        policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+        window_size: int | None = None,
+        functional: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.shard_map = InterleavedShardMap(capacity, num_shards)
+        memory = [0] * capacity if data is None else [int(x) & 1 for x in data]
+        if len(memory) != capacity:
+            raise ValueError("data length must equal capacity")
+        self.shards = [
+            FatTreeQRAM(
+                self.shard_map.shard_capacity,
+                self.shard_map.shard_data(memory, shard),
+            )
+            for shard in range(num_shards)
+        ]
+        self.policy = policy
+        parallelism = self.shards[0].query_parallelism
+        if window_size is None:
+            self.window_size = parallelism
+        else:
+            if window_size < 1:
+                raise ValueError("window_size must be >= 1")
+            self.window_size = min(window_size, parallelism)
+        self.functional = functional
+        self._rng = random.Random(seed)
+
+    # -------------------------------------------------------------- structure
+    @property
+    def capacity(self) -> int:
+        return self.shard_map.capacity
+
+    @property
+    def num_shards(self) -> int:
+        return self.shard_map.num_shards
+
+    @property
+    def query_parallelism(self) -> int:
+        """Concurrent queries the whole service sustains: ``K log2(N/K)``."""
+        return sum(shard.query_parallelism for shard in self.shards)
+
+    def write_memory(self, address: int, value: int) -> None:
+        """Update one global memory cell (routed to its shard)."""
+        shard = self.shard_map.shard_of(address)
+        self.shards[shard].write_memory(self.shard_map.local_address(address), value)
+
+    # ---------------------------------------------------------------- serving
+    def serve(
+        self, requests: Sequence[QueryRequest], clops: float = 1.0e6
+    ) -> ServiceReport:
+        """Drain a trace of query requests and report serving statistics.
+
+        The event loop advances a global raw-layer clock over request
+        arrivals and shard-free events.  Whenever a shard is idle and has
+        queued requests, up to ``window_size`` of them (chosen by the
+        admission policy) are batched into one pipeline window; the shard is
+        busy until the window fully drains.
+
+        Args:
+            requests: query requests; each must carry a shard-aligned
+                address superposition and an arrival ``request_time`` in raw
+                layers.
+            clops: hardware clock used for the queries-per-second numbers.
+        """
+        if not requests:
+            raise ValueError("at least one request is required")
+        pending = sorted(requests, key=lambda r: (r.request_time, r.query_id))
+        routed: dict[int, tuple[int, dict[int, complex]]] = {}
+        for request in pending:
+            if request.address_amplitudes is None:
+                raise ValueError("service requests require address amplitudes")
+            if request.query_id in routed:
+                raise ValueError(
+                    f"duplicate query_id {request.query_id} in trace; "
+                    "query ids key the per-request results and must be unique"
+                )
+            routed[request.query_id] = self.shard_map.route(request.address_amplitudes)
+
+        queues: list[list[QueryRequest]] = [[] for _ in range(self.num_shards)]
+        free_at = [0.0] * self.num_shards
+        max_depth = {shard: 0 for shard in range(self.num_shards)}
+        served: list[ServedQuery] = []
+        windows: list[WindowRecord] = []
+        outputs: dict[int, dict[tuple[int, int], complex]] = {}
+        index = 0
+
+        while index < len(pending) or any(queues):
+            candidates = []
+            if index < len(pending):
+                candidates.append(pending[index].request_time)
+            for shard, queue in enumerate(queues):
+                if queue:
+                    candidates.append(free_at[shard])
+            now = max(0.0, min(candidates))
+
+            while index < len(pending) and pending[index].request_time <= now:
+                request = pending[index]
+                shard = routed[request.query_id][0]
+                queues[shard].append(request)
+                max_depth[shard] = max(max_depth[shard], len(queues[shard]))
+                index += 1
+
+            for shard, queue in enumerate(queues):
+                if queue and free_at[shard] <= now:
+                    batch = self._pick_batch(queue)
+                    window, records = self._execute_window(
+                        shard, batch, admit=now, routed=routed, outputs=outputs
+                    )
+                    windows.append(window)
+                    served.extend(records)
+                    free_at[shard] = now + window.total_layers
+
+        served.sort(key=lambda s: (s.finish_layer, s.query_id))
+        stats = summarize_service(served, windows, max_depth, clops=clops)
+        return ServiceReport(served=served, windows=windows, stats=stats, outputs=outputs)
+
+    def _pick_batch(self, queue: list[QueryRequest]) -> list[QueryRequest]:
+        """Remove up to ``window_size`` requests from a queue by policy."""
+        count = min(self.window_size, len(queue))
+        if self.policy is SchedulingPolicy.FIFO:
+            batch = queue[:count]
+            del queue[:count]
+        elif self.policy is SchedulingPolicy.LIFO:
+            batch = [queue.pop() for _ in range(count)]
+        else:
+            batch = [queue.pop(self._rng.randrange(len(queue))) for _ in range(count)]
+        return batch
+
+    def _execute_window(
+        self,
+        shard: int,
+        batch: list[QueryRequest],
+        admit: float,
+        routed: dict[int, tuple[int, dict[int, complex]]],
+        outputs: dict[int, dict[tuple[int, int], complex]],
+    ) -> tuple[WindowRecord, list[ServedQuery]]:
+        """Run one pipeline window on one shard, at absolute layer ``admit``.
+
+        Requests are renumbered to window slots 0..k-1 before execution so
+        the shard executor's schedule and lowering caches are shared across
+        every window of the trace.
+        """
+        executor = self.shards[shard].cached_executor()
+        interval = executor.minimum_feasible_interval(len(batch))
+        lifetime = executor.relative_raw_latency()
+        records: list[ServedQuery] = []
+
+        if self.functional:
+            local_requests = [
+                QueryRequest(
+                    query_id=slot,
+                    address_amplitudes=routed[request.query_id][1],
+                    request_time=request.request_time,
+                    qpu=request.qpu,
+                    initial_bus=request.initial_bus,
+                )
+                for slot, request in enumerate(batch)
+            ]
+            summary, window_outputs = executor.run_pipelined_queries(
+                local_requests, interval=interval
+            )
+            total_layers = float(summary.total_layers)
+            for slot, request in enumerate(batch):
+                outputs[request.query_id] = self.shard_map.to_global_outputs(
+                    shard, window_outputs[slot]
+                )
+                fidelity = executor.query_fidelity(
+                    local_requests[slot], window_outputs[slot]
+                )
+                records.append(
+                    self._record(shard, request, admit, slot, interval, lifetime, fidelity)
+                )
+        else:
+            total_layers = float((len(batch) - 1) * interval + lifetime)
+            for slot, request in enumerate(batch):
+                records.append(
+                    self._record(shard, request, admit, slot, interval, lifetime, None)
+                )
+
+        window = WindowRecord(
+            shard=shard,
+            admit_layer=admit,
+            batch_size=len(batch),
+            interval=interval,
+            total_layers=total_layers,
+        )
+        return window, records
+
+    @staticmethod
+    def _record(
+        shard: int,
+        request: QueryRequest,
+        admit: float,
+        slot: int,
+        interval: int,
+        lifetime: int,
+        fidelity: float | None,
+    ) -> ServedQuery:
+        start = admit + slot * interval + 1
+        return ServedQuery(
+            query_id=request.query_id,
+            tenant=request.qpu,
+            shard=shard,
+            request_time=request.request_time,
+            admit_layer=admit,
+            start_layer=start,
+            finish_layer=start + lifetime - 1,
+            fidelity=fidelity,
+        )

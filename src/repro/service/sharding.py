@@ -1,0 +1,107 @@
+"""Address-interleaved sharding of a QRAM address space.
+
+A capacity-``N`` address space served by ``K`` shards assigns global
+address ``a`` to shard ``a mod K`` at local address ``a div K`` — the
+classic low-order interleaving that spreads any address-local working set
+evenly across shards.  Each shard is an independent capacity-``N/K``
+Fat-Tree QRAM, so a query's address superposition must stay within one
+shard's address set (amplitudes entangled across physically independent
+QRAMs cannot be served without inter-shard operations); the trace
+generators in :mod:`repro.workloads` emit shard-aligned superpositions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.bucket_brigade.tree import validate_capacity
+
+
+class InterleavedShardMap:
+    """Low-order-interleaved mapping between global and shard addresses.
+
+    Args:
+        capacity: global address-space size ``N`` (power of two).
+        num_shards: number of shards ``K`` (power of two >= 1; the per-shard
+            capacity ``N / K`` must be at least 2).
+    """
+
+    def __init__(self, capacity: int, num_shards: int) -> None:
+        validate_capacity(capacity)
+        if num_shards < 1 or (num_shards & (num_shards - 1)) != 0:
+            raise ValueError("num_shards must be a power of two >= 1")
+        if capacity // num_shards < 2:
+            raise ValueError(
+                f"{num_shards} shards leave fewer than 2 addresses per shard"
+            )
+        self.capacity = capacity
+        self.num_shards = num_shards
+        self.shard_capacity = capacity // num_shards
+
+    def shard_of(self, address: int) -> int:
+        """Shard owning a global address."""
+        self._check(address)
+        return address % self.num_shards
+
+    def local_address(self, address: int) -> int:
+        """Address of a global address within its shard."""
+        self._check(address)
+        return address // self.num_shards
+
+    def global_address(self, shard: int, local: int) -> int:
+        """Global address of a shard-local address."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range")
+        if not 0 <= local < self.shard_capacity:
+            raise ValueError(f"local address {local} out of range")
+        return local * self.num_shards + shard
+
+    def shard_data(self, data: Sequence[int], shard: int) -> list[int]:
+        """The slice of the global classical memory owned by one shard."""
+        if len(data) != self.capacity:
+            raise ValueError("data length must equal capacity")
+        return [
+            data[self.global_address(shard, local)]
+            for local in range(self.shard_capacity)
+        ]
+
+    def route(
+        self, address_amplitudes: Mapping[int, complex]
+    ) -> tuple[int, dict[int, complex]]:
+        """Route an address superposition to its shard.
+
+        Returns:
+            ``(shard, local_amplitudes)`` with every global address
+            translated to the shard's local address space.
+
+        Raises:
+            ValueError: if the superposition spans more than one shard (the
+                shards are physically independent QRAMs).
+        """
+        if not address_amplitudes:
+            raise ValueError("empty address superposition")
+        shards = {self.shard_of(a) for a in address_amplitudes}
+        if len(shards) != 1:
+            raise ValueError(
+                f"address superposition spans shards {sorted(shards)}; "
+                "queries must target a single shard"
+            )
+        shard = shards.pop()
+        local = {
+            self.local_address(a): amp for a, amp in address_amplitudes.items()
+        }
+        return shard, local
+
+    def to_global_outputs(
+        self, shard: int, outputs: Mapping[tuple[int, int], complex]
+    ) -> dict[tuple[int, int], complex]:
+        """Translate a shard's ``(local_address, bus)`` amplitudes back to
+        global addresses."""
+        return {
+            (self.global_address(shard, local), bus): amp
+            for (local, bus), amp in outputs.items()
+        }
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < self.capacity:
+            raise ValueError(f"address {address} out of range")

@@ -1,11 +1,14 @@
 """Workload and trace generators used by examples, tests and benchmarks."""
 
 from repro.workloads.generators import (
+    bursty_trace,
+    poisson_trace,
+    query_trace,
     random_address_superposition,
     random_data,
+    shard_aligned_superposition,
     structured_data,
     uniform_superposition,
-    query_trace,
 )
 
 __all__ = [
@@ -13,5 +16,8 @@ __all__ = [
     "structured_data",
     "uniform_superposition",
     "random_address_superposition",
+    "shard_aligned_superposition",
     "query_trace",
+    "poisson_trace",
+    "bursty_trace",
 ]

@@ -76,3 +76,104 @@ def query_trace(
         )
         for i in range(num_queries)
     ]
+
+
+def shard_aligned_superposition(
+    capacity: int,
+    num_shards: int,
+    shard: int,
+    num_addresses: int,
+    seed: int = 0,
+) -> dict[int, complex]:
+    """Random superposition confined to one interleaved shard's addresses.
+
+    With low-order interleaving, shard ``s`` of ``K`` owns the global
+    addresses ``{s, s + K, s + 2K, ...}``; a query served by a sharded QRAM
+    service must keep its superposition inside one such set.
+    """
+    if not 0 <= shard < num_shards:
+        raise ValueError("shard out of range")
+    if capacity % num_shards != 0:
+        raise ValueError("num_shards must divide the capacity")
+    shard_capacity = capacity // num_shards
+    local = random_address_superposition(shard_capacity, num_addresses, seed=seed)
+    return {a * num_shards + shard: amp for a, amp in local.items()}
+
+
+def _arrival_trace(
+    capacity: int,
+    times: list[float],
+    addresses_per_query: int,
+    num_tenants: int,
+    num_shards: int,
+    seed: int,
+) -> list[QueryRequest]:
+    """Requests at the given arrival times, round-robin over tenants and
+    random (shard-aligned) address superpositions."""
+    rng = np.random.default_rng(seed)
+    requests = []
+    for i, t in enumerate(times):
+        shard = int(rng.integers(num_shards))
+        requests.append(
+            QueryRequest(
+                query_id=i,
+                address_amplitudes=shard_aligned_superposition(
+                    capacity, num_shards, shard, addresses_per_query, seed=seed + i
+                ),
+                request_time=float(t),
+                qpu=i % num_tenants,
+            )
+        )
+    return requests
+
+
+def poisson_trace(
+    capacity: int,
+    num_queries: int,
+    mean_interarrival: float,
+    addresses_per_query: int = 2,
+    num_tenants: int = 1,
+    num_shards: int = 1,
+    seed: int = 0,
+) -> list[QueryRequest]:
+    """Open-loop Poisson traffic: exponential interarrival times (raw layers).
+
+    Tenants are assigned round-robin and each query targets a uniformly
+    random shard with a shard-aligned address superposition, so the trace
+    can be served directly by a ``num_shards``-shard :class:`QRAMService`.
+    """
+    if num_queries < 1:
+        raise ValueError("num_queries must be >= 1")
+    if mean_interarrival <= 0:
+        raise ValueError("mean_interarrival must be positive")
+    rng = np.random.default_rng(seed)
+    times = list(np.cumsum(rng.exponential(mean_interarrival, size=num_queries)))
+    return _arrival_trace(
+        capacity, times, addresses_per_query, num_tenants, num_shards, seed
+    )
+
+
+def bursty_trace(
+    capacity: int,
+    num_bursts: int,
+    burst_size: int,
+    burst_spacing: float,
+    addresses_per_query: int = 2,
+    num_tenants: int = 1,
+    num_shards: int = 1,
+    seed: int = 0,
+) -> list[QueryRequest]:
+    """Bursty traffic: ``burst_size`` simultaneous requests every
+    ``burst_spacing`` raw layers (the stress pattern for window batching)."""
+    if num_bursts < 1 or burst_size < 1:
+        raise ValueError("num_bursts and burst_size must be >= 1")
+    if burst_spacing <= 0:
+        raise ValueError("burst_spacing must be positive")
+    times = [
+        float(burst * burst_spacing)
+        for burst in range(num_bursts)
+        for _ in range(burst_size)
+    ]
+    return _arrival_trace(
+        capacity, times, addresses_per_query, num_tenants, num_shards, seed
+    )

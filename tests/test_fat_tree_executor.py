@@ -113,6 +113,104 @@ def test_requests_require_amplitudes():
         executor.run_pipelined_queries([])
 
 
+def test_repeated_queries_reuse_cached_schedule():
+    """Repeated query() calls hit the cached executor and schedule and give
+    identical amplitudes."""
+    qram = FatTreeQRAM(8, DATA8)
+    first = qram.query({0: 1, 5: 1})
+    executor = qram.cached_executor()
+    schedule = executor.relative_schedule(0)
+    second = qram.query({0: 1, 5: 1})
+    assert first == second
+    assert qram.cached_executor() is executor
+    assert executor.relative_schedule(0) is schedule          # memoized
+    assert executor.minimum_feasible_interval() == executor.minimum_feasible_interval()
+    # A classical write invalidates the cached executor (new memory image).
+    qram.write_memory(0, 0)
+    assert qram.cached_executor() is not executor
+    assert qram.query({0: 1, 5: 1}) != first
+
+
+def test_schedules_of_different_queries_share_structure():
+    executor = FatTreeExecutor(8, DATA8)
+    base = executor.relative_schedule(0)
+    other = executor.relative_schedule(7)
+    assert len(base) == len(other)
+    for a, b in zip(base, other):
+        assert b.query == 7
+        assert (a.kind, a.item, a.level, a.label, a.raw_layer) == (
+            b.kind, b.item, b.level, b.label, b.raw_layer
+        )
+
+
+def test_executor_caches_stay_bounded_over_fresh_query_ids():
+    """A long-lived executor serving ever-fresh query ids must not grow its
+    memoized schedules without bound."""
+    executor = FatTreeExecutor(8, DATA8)
+    limit = FatTreeExecutor._CACHE_LIMIT
+    for query in range(3 * limit):
+        executor.relative_schedule(query)
+    assert len(executor._schedule_cache) <= limit
+    # Evictions must not change results: a re-derived schedule is identical.
+    again = executor.relative_schedule(1)
+    assert [i.raw_layer for i in again] == [
+        i.raw_layer for i in executor.relative_schedule(0)
+    ]
+    # Correctness after heavy cache churn.
+    requests = [QueryRequest(500, {1: 1.0}), QueryRequest(501, {2: 1.0})]
+    _, outputs = executor.run_pipelined_queries(requests, interval=22)
+    for request in requests:
+        assert executor.query_fidelity(request, outputs[request.query_id]) == pytest.approx(1.0)
+
+
+def test_tree_is_clean_raises_before_any_run():
+    executor = FatTreeExecutor(8, DATA8)
+    with pytest.raises(RuntimeError, match="no execution"):
+        executor.tree_is_clean()
+
+
+def test_shared_swap_dedup_under_custom_interval():
+    """At interval 22 (capacity 8) the label-0 migrations of consecutive
+    queries land on the same raw layer: they must execute as ONE shared
+    sub-QRAM exchange, which the functional result verifies (a double swap
+    would undo the exchange and corrupt both queries)."""
+    executor = FatTreeExecutor(8, DATA8)
+    interval = 22
+    migrations = [
+        (i.raw_layer, i.label, i.level)
+        for i in executor.relative_schedule(0)
+        if i.kind is InstructionKind.SWAP_MIGRATE
+    ]
+    shifted = {(layer + interval, label, level) for layer, label, level in migrations}
+    assert shifted & set(migrations), "interval 22 must produce a shared swap"
+    requests = [
+        QueryRequest(0, {1: 1.0, 6: 1.0}),
+        QueryRequest(1, {2: 1.0, 5: 1.0j}),
+    ]
+    _, outputs = executor.run_pipelined_queries(requests, interval=interval)
+    for request in requests:
+        assert executor.query_fidelity(request, outputs[request.query_id]) == pytest.approx(1.0)
+    assert executor.tree_is_clean()
+
+
+def test_query_result_units_are_consistent():
+    """latency_layers is a pure layer count; request-to-finish time is a
+    separate field on the request's arrival clock."""
+    executor = FatTreeExecutor(8, DATA8)
+    requests = [
+        QueryRequest(0, {0: 1.0}, request_time=0.0),
+        QueryRequest(1, {1: 1.0}, request_time=7.5),
+    ]
+    summary, _ = executor.run_pipelined_queries(requests, interval=22)
+    lifetime = executor.relative_raw_latency()
+    for slot, result in enumerate(summary.results):
+        assert result.latency_layers == lifetime
+        assert result.latency_layers == result.service_layers
+        assert result.request_time == requests[slot].request_time
+        assert result.request_to_finish == result.finish_layer - requests[slot].request_time
+        assert result.queue_delay_layers == result.start_layer - requests[slot].request_time
+
+
 def test_qram_facade_resources():
     qram = FatTreeQRAM(1024)
     assert qram.qubit_count == 16 * 1024

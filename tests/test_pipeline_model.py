@@ -80,6 +80,43 @@ def test_active_queries_and_utilization():
     assert pipeline.average_utilization() > 0.5
 
 
+def test_bandwidth_honours_start_interval():
+    """Regression: a pipeline with a slower admission interval must report
+    proportionally less bandwidth, not the default 8.25-layer value."""
+    default = FatTreePipeline(8)
+    slow = FatTreePipeline(8, start_interval=15)
+    assert default.interval_weighted_cost() == pytest.approx(8.25)
+    assert default.bandwidth() == pytest.approx(1e6 / 8.25)
+    # 15 raw layers = 12 full + 3 fast = 12.375 weighted.
+    assert slow.interval_weighted_cost() == pytest.approx(12.375)
+    assert slow.bandwidth() == pytest.approx(1e6 / 12.375)
+    assert slow.bandwidth() < default.bandwidth()
+    assert slow.amortized_weighted_latency() == pytest.approx(12.375)
+    assert float(slow.exact_amortized_latency()) == pytest.approx(12.375)
+    # Intervals that are not cadence multiples amortize fractionally: 12 raw
+    # layers contain 12/5 = 2.4 fast layers on average (9.9 weighted), never
+    # the floor-rounded 10.25.
+    uneven = FatTreePipeline(8, start_interval=12)
+    assert uneven.interval_weighted_cost() == pytest.approx(9.9)
+    assert float(uneven.exact_amortized_latency()) == pytest.approx(9.9)
+    # Cost scales linearly with the interval: no rounding steps.
+    assert uneven.interval_weighted_cost() == pytest.approx(12 * 8.25 / 10)
+
+
+def test_qram_amortized_latency_honours_num_queries():
+    from repro.core.qram import FatTreeQRAM
+
+    qram = FatTreeQRAM(1024)
+    # Default: steady-state value of Table 1.
+    assert qram.amortized_query_latency() == pytest.approx(8.25)
+    # Explicit finite horizon: includes the pipeline-fill cost and converges
+    # to the steady state from above.
+    assert qram.amortized_query_latency(1) == pytest.approx(qram.single_query_latency())
+    amortized = [qram.amortized_query_latency(k) for k in (1, 2, 5, 50, 5000)]
+    assert all(b < a for a, b in zip(amortized, amortized[1:]))
+    assert amortized[-1] == pytest.approx(8.25, rel=1e-2)
+
+
 def test_interval_below_paper_value_rejected():
     with pytest.raises(ValueError):
         FatTreePipeline(8, num_queries=2, start_interval=9)
