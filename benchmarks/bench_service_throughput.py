@@ -1,23 +1,34 @@
-"""Serving-layer throughput and the schedule-cache speedup.
+"""Serving-layer throughput, the schedule-cache speedups, and the backend axis.
 
-Two measurements:
+Measurements:
 
-* the schedule-cache hit: repeated queries at a fixed capacity reuse the
-  memoized relative schedule, lowered gate sequences and minimum feasible
-  interval, where the seed code re-derived all three through a fresh
-  ``FatTreeExecutor`` on every call — the cached path must be at least 5x
-  faster;
+* the Fat-Tree schedule-cache hit: repeated queries at a fixed capacity
+  reuse the memoized relative schedule, lowered gate sequences and minimum
+  feasible interval, where the seed code re-derived all three through a
+  fresh ``FatTreeExecutor`` on every call — the cached path must be at
+  least 5x faster;
+* the BB schedule-cache hit: the serving path's cached ``BBExecutor``
+  reuses the memoized query schedule and lowered gate sequences, against
+  the seed's fresh-executor-per-call re-derivation — same >= 5x guarantee,
+  so the BB serving path is not orders of magnitude slower than Fat-Tree's;
 * end-to-end service throughput: a multi-shard :class:`QRAMService`
   draining a Poisson trace, reported as queries/second of simulated
-  hardware time and wall-clock serving rate.
+  hardware time and wall-clock serving rate;
+* the backend axis: the same trace drained by every registered
+  architecture (Fat-Tree, BB, Virtual, D-Fat-Tree, D-BB), comparing
+  makespans and bandwidths across the fleet choices.
 """
 
 import time
 
 from conftest import print_rows
 
+from repro.baselines.registry import backend_names
+from repro.bucket_brigade.executor import BBExecutor
+from repro.bucket_brigade.qram import BucketBrigadeQRAM
 from repro.core.executor import FatTreeExecutor
 from repro.core.qram import FatTreeQRAM
+from repro.service import QRAMService
 from repro.workloads import poisson_trace, random_data
 
 CAPACITY = 32
@@ -61,7 +72,7 @@ def test_schedule_cache_speedup(benchmark):
     speedup = fresh_seconds / cached_seconds
     benchmark(_derive_schedules_cached, qram)
     print_rows(
-        f"Schedule caching — capacity {CAPACITY}, {BATCH}-query windows",
+        f"Fat-Tree schedule caching — capacity {CAPACITY}, {BATCH}-query windows",
         {
             "fresh_ms_per_call": fresh_seconds * 1e3,
             "cached_ms_per_call": cached_seconds * 1e3,
@@ -73,6 +84,54 @@ def test_schedule_cache_speedup(benchmark):
     assert speedup >= 5.0
 
 
+def _derive_bb_schedule_fresh() -> int:
+    """The seed's BB path: fresh executor, schedule rebuilt and re-lowered."""
+    executor = BBExecutor(CAPACITY, [0] * CAPACITY)
+    total = 0
+    for instruction in executor.schedule(0).instructions:
+        total += len(executor._lowered_operations(instruction))
+    return total
+
+
+def _derive_bb_schedule_cached(qram: BucketBrigadeQRAM) -> int:
+    """The serving layer's BB path: cached executor, memoized artefacts."""
+    executor = qram.cached_executor()
+    total = 0
+    for instruction in executor.schedule(0).instructions:
+        total += len(executor._lowered_operations(instruction))
+    return total
+
+
+def test_bb_schedule_cache_speedup(benchmark):
+    """The BB executor's new schedule cache matches the Fat-Tree guarantee."""
+    qram = BucketBrigadeQRAM(CAPACITY, [0] * CAPACITY)
+    _derive_bb_schedule_cached(qram)      # warm the caches once
+
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        _derive_bb_schedule_fresh()
+    fresh_seconds = (time.perf_counter() - start) / REPEATS
+
+    start = time.perf_counter()
+    for _ in range(REPEATS * 100):
+        _derive_bb_schedule_cached(qram)
+    cached_seconds = (time.perf_counter() - start) / (REPEATS * 100)
+
+    speedup = fresh_seconds / cached_seconds
+    benchmark(_derive_bb_schedule_cached, qram)
+    print_rows(
+        f"BB schedule caching — capacity {CAPACITY}, repeated windows",
+        {
+            "fresh_ms_per_call": fresh_seconds * 1e3,
+            "cached_ms_per_call": cached_seconds * 1e3,
+            "speedup": speedup,
+        },
+    )
+    # Both paths lower the same gate sequence.
+    assert _derive_bb_schedule_fresh() == _derive_bb_schedule_cached(qram)
+    assert speedup >= 5.0
+
+
 def test_service_throughput_poisson(benchmark):
     capacity = 16
     data = random_data(capacity, seed=1)
@@ -81,8 +140,6 @@ def test_service_throughput_poisson(benchmark):
     )
 
     def serve():
-        from repro.service import QRAMService
-
         service = QRAMService(capacity, num_shards=2, data=data)
         return service.serve(trace)
 
@@ -108,3 +165,40 @@ def test_service_throughput_poisson(benchmark):
     assert stats.total_queries == 60
     assert all(r.fidelity is not None and abs(r.fidelity - 1.0) < 1e-6
                for r in report.served)
+
+
+def test_service_throughput_backend_axis(benchmark):
+    """The same trace drained by every registered architecture."""
+    capacity = 16
+    data = random_data(capacity, seed=2)
+    trace = poisson_trace(
+        capacity, 40, mean_interarrival=6.0, num_tenants=2, num_shards=2, seed=3
+    )
+
+    def serve_all():
+        results = {}
+        for name in backend_names():
+            service = QRAMService(
+                capacity, num_shards=2, data=data, architecture=name,
+                functional=False,
+            )
+            results[name] = service.serve(trace).stats
+        return results
+
+    results = serve_all()
+    benchmark(serve_all)
+    rows = {}
+    for name, stats in results.items():
+        rows[name] = {
+            "makespan_layers": round(stats.makespan_layers, 1),
+            "bandwidth_q_per_s": round(stats.bandwidth_queries_per_sec),
+            "mean_latency_layers": round(stats.mean_latency_layers, 1),
+        }
+    print_rows(
+        "Backend axis — 40-query Poisson trace, 2 shards, capacity 16",
+        rows,
+    )
+    assert set(results) == set(backend_names())
+    for name, stats in results.items():
+        assert stats.total_queries == 40, name
+        assert name in stats.per_backend

@@ -23,15 +23,27 @@ Quick start::
 """
 
 from repro.bucket_brigade.qram import BucketBrigadeQRAM
+from repro.backends import QRAMBackend, WindowResult
 from repro.baselines.distributed import DistributedBBQRAM, DistributedFatTreeQRAM
-from repro.baselines.registry import ARCHITECTURES, architecture_names, build_architecture
+from repro.baselines.registry import (
+    ARCHITECTURES,
+    architecture_names,
+    backend_names,
+    build_architecture,
+    build_backend,
+)
 from repro.baselines.virtual_qram import VirtualQRAM
 from repro.core.pipeline import FatTreePipeline
 from repro.core.qram import FatTreeQRAM
 from repro.core.query import QueryRequest, QueryResult
-from repro.service import InterleavedShardMap, QRAMService, ServiceReport
+from repro.service import (
+    InterleavedShardMap,
+    QRAMService,
+    ReplicatedShardMap,
+    ServiceReport,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FatTreeQRAM",
@@ -45,8 +57,13 @@ __all__ = [
     "QRAMService",
     "ServiceReport",
     "InterleavedShardMap",
+    "ReplicatedShardMap",
+    "QRAMBackend",
+    "WindowResult",
     "ARCHITECTURES",
     "architecture_names",
+    "backend_names",
     "build_architecture",
+    "build_backend",
     "__version__",
 ]

@@ -1,0 +1,43 @@
+"""Backend-agnostic execution engine for the QRAM serving layer.
+
+Every architecture of the paper's evaluation is served through the same
+:class:`~repro.backends.protocol.QRAMBackend` protocol:
+
+* :mod:`repro.backends.protocol` — the protocol, the per-window result
+  record and the ideal-output / fidelity helpers.
+* :mod:`repro.backends.fat_tree` — Fat-Tree: pipelined windows on the
+  memoized gate-level executor.
+* :mod:`repro.backends.bucket_brigade` — BB: sequential windows on the
+  (newly memoized) BB executor.
+* :mod:`repro.backends.analytic` — Virtual / D-Fat-Tree / D-BB: model-based
+  timing with exact functional queries.
+
+Backends are built by name through the single architecture factory,
+:func:`repro.baselines.registry.build_backend`.
+"""
+
+from repro.backends.protocol import (
+    QRAMBackend,
+    WindowResult,
+    ideal_output,
+    output_fidelity,
+)
+from repro.backends.fat_tree import FatTreeBackend
+from repro.backends.bucket_brigade import BBBackend
+from repro.backends.analytic import (
+    DistributedBBBackend,
+    DistributedFatTreeBackend,
+    VirtualBackend,
+)
+
+__all__ = [
+    "QRAMBackend",
+    "WindowResult",
+    "ideal_output",
+    "output_fidelity",
+    "FatTreeBackend",
+    "BBBackend",
+    "VirtualBackend",
+    "DistributedFatTreeBackend",
+    "DistributedBBBackend",
+]

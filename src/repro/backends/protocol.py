@@ -1,0 +1,145 @@
+"""The execution-backend protocol shared by every served QRAM architecture.
+
+The serving layer (:mod:`repro.service`) drives traffic through *backends*:
+objects that expose one architecture's capacity, query parallelism, admission
+interval and a ``run_window`` primitive that executes one batch of queries
+and reports per-slot timing, outputs and fidelities.  All five architectures
+of the paper's evaluation (Fat-Tree, BB, Virtual, D-Fat-Tree, D-BB) provide
+an adapter implementing this protocol, built through the single factory
+:func:`repro.baselines.registry.build_backend` — the same registry that
+drives the Tables 1-2 reproduction.
+
+Timing convention: all window times are raw circuit layers relative to the
+window's admission layer; slot ``s`` of a window starts at
+``start_offsets[s]`` and finishes at ``finish_offsets[s]`` layers after
+admission, and the backend is busy for ``total_layers`` layers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.core.query import QueryRequest, ideal_query_output, output_fidelity
+
+__all__ = [
+    "QRAMBackend",
+    "WindowResult",
+    "ideal_output",
+    "output_fidelity",
+]
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """Outcome of running one batch of queries on one backend.
+
+    Attributes:
+        interval: admission spacing between slots in raw layers (0 when the
+            architecture admits the whole window concurrently).
+        total_layers: raw layers until the window fully drains (the backend
+            is busy for this long).
+        start_offsets: per-slot start layer, relative to window admission.
+        finish_offsets: per-slot finish layer, relative to window admission.
+        outputs: per-slot output amplitudes over ``(address, bus)`` pairs,
+            or ``None`` per slot for timing-only execution.
+        fidelities: per-slot ``|<ideal|actual>|^2`` (``None`` when
+            timing-only).
+    """
+
+    interval: int
+    total_layers: float
+    start_offsets: tuple[float, ...]
+    finish_offsets: tuple[float, ...]
+    outputs: tuple[dict[tuple[int, int], complex] | None, ...]
+    fidelities: tuple[float | None, ...]
+
+    def __post_init__(self) -> None:
+        sizes = {
+            len(self.start_offsets),
+            len(self.finish_offsets),
+            len(self.outputs),
+            len(self.fidelities),
+        }
+        if len(sizes) != 1:
+            raise ValueError("per-slot fields must have equal lengths")
+        if not self.start_offsets:
+            raise ValueError("a window must contain at least one query")
+
+    @property
+    def batch_size(self) -> int:
+        """Number of queries executed in the window."""
+        return len(self.start_offsets)
+
+
+@runtime_checkable
+class QRAMBackend(Protocol):
+    """What the serving layer requires of an executable QRAM architecture.
+
+    Implementations wrap one architecture model (and, for the gate-level
+    architectures, its cached executor) behind a uniform surface; see
+    :mod:`repro.backends.fat_tree`, :mod:`repro.backends.bucket_brigade`
+    and :mod:`repro.backends.analytic`.
+    """
+
+    @property
+    def name(self) -> str:
+        """Canonical architecture name (matches the registry key)."""
+        ...
+
+    @property
+    def capacity(self) -> int:
+        """Address-space size ``N`` served by this backend."""
+        ...
+
+    @property
+    def address_width(self) -> int:
+        """``log2(N)``."""
+        ...
+
+    @property
+    def query_parallelism(self) -> int:
+        """Concurrent queries one window may batch."""
+        ...
+
+    @property
+    def qubit_count(self) -> int:
+        """Physical qubits of the underlying hardware model."""
+        ...
+
+    def minimum_feasible_interval(self, num_queries: int = 2) -> int:
+        """Smallest conflict-free admission spacing, in raw layers."""
+        ...
+
+    def run_window(
+        self, requests: Sequence[QueryRequest], functional: bool = True
+    ) -> WindowResult:
+        """Execute one batch of (backend-local) queries."""
+        ...
+
+    def write_memory(self, address: int, value: int) -> None:
+        """Update one classical memory cell (invalidates cached schedules)."""
+        ...
+
+    def single_query_latency(self) -> float:
+        """Weighted single-query latency (Table 1)."""
+        ...
+
+    def amortized_query_latency(self, num_queries: int | None = None) -> float:
+        """Weighted amortized per-query latency (Table 1)."""
+        ...
+
+
+def ideal_output(
+    data: Sequence[int], request: QueryRequest
+) -> dict[tuple[int, int], complex]:
+    """Ideal normalised output of a request per the query unitary of Eq. (1).
+
+    Thin request-level wrapper over
+    :func:`repro.core.query.ideal_query_output` — the one implementation
+    the executors score against as well.
+    """
+    return ideal_query_output(
+        data, dict(request.address_amplitudes or {}), request.initial_bus
+    )

@@ -58,6 +58,7 @@ class VirtualQRAM:
         self.page_size = capacity // num_pages
         if self.page_size < 2:
             raise ValueError("page size must be at least 2")
+        self._page_qrams: list[BucketBrigadeQRAM] | None = None
 
     # -------------------------------------------------------------- structure
     @property
@@ -73,7 +74,11 @@ class VirtualQRAM:
         return list(self._data)
 
     def write_memory(self, address: int, value: int) -> None:
+        """Update one memory cell (write-through to the cached page QRAM)."""
         self._data[address] = int(value) & 1
+        if self._page_qrams is not None:
+            page, local = divmod(address, self.page_size)
+            self._page_qrams[page].write_memory(local, value)
 
     @property
     def page_address_width(self) -> int:
@@ -162,6 +167,7 @@ class VirtualQRAM:
         """
         norm = math.sqrt(sum(abs(a) ** 2 for a in address_amplitudes.values()))
         output: dict[tuple[int, int], complex] = {}
+        pages = self.page_qrams()
         for page in range(self.num_pages):
             base = page * self.page_size
             page_amps = {
@@ -171,10 +177,26 @@ class VirtualQRAM:
             }
             if not page_amps:
                 continue
-            page_data = self._data[base:base + self.page_size]
-            page_qram = BucketBrigadeQRAM(self.page_size, page_data)
             page_weight = math.sqrt(sum(abs(a) ** 2 for a in page_amps.values()))
-            partial = page_qram.query(page_amps, initial_bus=initial_bus)
+            partial = pages[page].query(page_amps, initial_bus=initial_bus)
             for (local_addr, bus), amp in partial.items():
                 output[(base + local_addr, bus)] = amp * page_weight / norm
         return output
+
+    def page_qrams(self) -> list[BucketBrigadeQRAM]:
+        """Memoized page-sized BB QRAMs backing the functional query path.
+
+        Each page QRAM keeps its own cached executor, so repeated queries
+        (the serving-layer pattern) reuse the page schedules and lowered
+        gate sequences instead of rebuilding them per call; classical
+        writes are written through by :meth:`write_memory`.
+        """
+        if self._page_qrams is None:
+            self._page_qrams = [
+                BucketBrigadeQRAM(
+                    self.page_size,
+                    self._data[page * self.page_size:(page + 1) * self.page_size],
+                )
+                for page in range(self.num_pages)
+            ]
+        return self._page_qrams

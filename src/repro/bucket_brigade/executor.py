@@ -19,8 +19,12 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-from repro.bucket_brigade.instructions import QubitNamer, lower_instruction
-from repro.bucket_brigade.schedule import BBQuerySchedule
+from repro.bucket_brigade.instructions import (
+    InstructionKind,
+    QubitNamer,
+    lower_instruction,
+)
+from repro.bucket_brigade.schedule import BBQuerySchedule, bb_raw_query_layers
 from repro.bucket_brigade.tree import BBTree
 from repro.sim.sparse import SparseState
 
@@ -28,11 +32,28 @@ from repro.sim.sparse import SparseState
 class BBExecutor:
     """Executes BB QRAM queries gate by gate on a sparse state.
 
+    Schedule artefacts are memoized the same way as in the Fat-Tree
+    executor: the instruction schedule of a query id and the lowered gate
+    sequence of every instruction are derived once per memory image and hit
+    their cached values on every subsequent query — the fast path
+    ``BucketBrigadeQRAM.cached_executor()`` exposes to the serving layer
+    (and that classical memory writes invalidate wholesale).
+
     Args:
         capacity: memory size ``N`` (power of two).
         data: classical memory contents, one bit per address (values are
             reduced mod 2).
     """
+
+    #: Distinct query ids whose schedules are kept memoized at once.
+    _CACHE_LIMIT = 128
+
+    #: Instruction kinds whose lowering names per-query external qubits
+    #: (address / bus registers); everything else acts on tree qubits only
+    #: and lowers identically for every query.
+    _QUERY_SENSITIVE_KINDS = frozenset(
+        {InstructionKind.LOAD, InstructionKind.UNLOAD}
+    )
 
     def __init__(self, capacity: int, data: Sequence[int]) -> None:
         self.tree = BBTree(capacity)
@@ -42,6 +63,10 @@ class BBExecutor:
             )
         self.data = [int(x) & 1 for x in data]
         self.namer = QubitNamer(prefix="bb", multiplexed=False)
+        self._schedule_cache: dict[int, BBQuerySchedule] = {}
+        self._lowered_cache: dict[
+            tuple[InstructionKind, int, int, int, int], list
+        ] = {}
 
     @property
     def capacity(self) -> int:
@@ -50,6 +75,33 @@ class BBExecutor:
     @property
     def address_width(self) -> int:
         return self.tree.address_width
+
+    # -------------------------------------------------------------- scheduling
+    def schedule(self, query: int = 0) -> BBQuerySchedule:
+        """The memoized instruction schedule of one query id."""
+        cached = self._schedule_cache.get(query)
+        if cached is not None:
+            return cached
+        if len(self._schedule_cache) >= self._CACHE_LIMIT:
+            # Callers that keep minting fresh query ids must not grow the
+            # per-id caches without bound; keep the query-0 entry and the
+            # query-insensitive lowered sequences, evict the rest.
+            base = self._schedule_cache.get(0)
+            self._schedule_cache = {} if base is None else {0: base}
+            self._lowered_cache = {
+                key: ops for key, ops in self._lowered_cache.items() if key[1] == -1
+            }
+        schedule = BBQuerySchedule(self.capacity, query=query)
+        self._schedule_cache[query] = schedule
+        return schedule
+
+    def minimum_feasible_interval(self, num_queries: int = 2) -> int:
+        """BB QRAM admits strictly sequentially: one query per lifetime."""
+        return bb_raw_query_layers(self.capacity)
+
+    def relative_raw_latency(self) -> int:
+        """Raw layers of one query: ``8 n + 1``."""
+        return bb_raw_query_layers(self.capacity)
 
     # ------------------------------------------------------------------ query
     def run_query(
@@ -85,8 +137,7 @@ class BBExecutor:
         # Phase-kickback basis change on the bus.
         state.apply_gate("H", (bus_qubit,))
 
-        schedule = BBQuerySchedule(self.capacity, query=query)
-        self.run_schedule(schedule, state)
+        self.run_schedule(self.schedule(query), state)
 
         state.apply_gate("H", (bus_qubit,))
         return state
@@ -94,14 +145,30 @@ class BBExecutor:
     def run_schedule(self, schedule: BBQuerySchedule, state: SparseState) -> None:
         """Execute a prepared schedule on an existing state."""
         for instruction in schedule.instructions:
+            for op in self._lowered_operations(instruction):
+                state.apply_operation(op)
+
+    def _lowered_operations(self, instr) -> list:
+        """Lowered gate sequence of an instruction, cached by identity.
+
+        Lowering depends on (kind, item, level, label) and on the classical
+        data — fixed for the executor's lifetime — never on the raw layer.
+        The query id only matters for LOAD/UNLOAD (which touch the query's
+        external address / bus qubits), so all other kinds share one cache
+        entry across queries.
+        """
+        query_key = instr.query if instr.kind in self._QUERY_SENSITIVE_KINDS else -1
+        key = (instr.kind, query_key, instr.item, instr.level, instr.label)
+        operations = self._lowered_cache.get(key)
+        if operations is None:
             operations = lower_instruction(
-                instruction,
+                instr,
                 self.namer,
                 self.address_width,
                 data=self.data,
             )
-            for op in operations:
-                state.apply_operation(op)
+            self._lowered_cache[key] = operations
+        return operations
 
     # ------------------------------------------------------------ inspection
     def expected_output(
@@ -110,12 +177,12 @@ class BBExecutor:
         initial_bus: int = 0,
     ) -> dict[tuple[int, int], complex]:
         """Ideal output amplitudes over (address, bus) pairs, from Eq. (1)."""
-        norm = sum(abs(a) ** 2 for a in address_amplitudes.values()) ** 0.5
-        out: dict[tuple[int, int], complex] = {}
-        for address, amp in address_amplitudes.items():
-            bus = initial_bus ^ self.data[address]
-            out[(address, bus)] = amp / norm
-        return out
+        # Imported here, not at module level: repro.core's package init pulls
+        # in core.qram, which imports this module back (QUBITS_PER_ROUTER /
+        # BBExecutor) — a top-level import would be circular.
+        from repro.core.query import ideal_query_output
+
+        return ideal_query_output(self.data, address_amplitudes, initial_bus)
 
     def measured_output(
         self, state: SparseState, query: int = 0
@@ -134,13 +201,12 @@ class BBExecutor:
         initial_bus: int = 0,
     ) -> float:
         """|<ideal|actual>|^2 of one noiseless query (should be 1.0)."""
+        from repro.core.query import output_fidelity
+
         state = self.run_query(address_amplitudes, query=query, initial_bus=initial_bus)
         actual = self.measured_output(state, query=query)
         ideal = self.expected_output(address_amplitudes, initial_bus=initial_bus)
-        overlap = sum(
-            ideal[key].conjugate() * actual.get(key, 0.0) for key in ideal
-        )
-        return abs(overlap) ** 2
+        return output_fidelity(ideal, actual)
 
     def tree_is_clean(self, state: SparseState) -> bool:
         """True when every router-tree qubit is back in |0> in every branch."""

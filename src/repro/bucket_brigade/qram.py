@@ -42,6 +42,7 @@ class BucketBrigadeQRAM:
         self._data = [0] * capacity if data is None else [int(x) & 1 for x in data]
         if len(self._data) != capacity:
             raise ValueError("data length must equal capacity")
+        self._executor: BBExecutor | None = None
 
     # -------------------------------------------------------------- structure
     @property
@@ -58,14 +59,16 @@ class BucketBrigadeQRAM:
         return list(self._data)
 
     def write_memory(self, address: int, value: int) -> None:
-        """Update one classical memory cell."""
+        """Update one classical memory cell (invalidates the cached executor)."""
         self._data[address] = int(value) & 1
+        self._executor = None
 
     def load_memory(self, data: Sequence[int]) -> None:
         """Replace the whole classical memory."""
         if len(data) != self._capacity:
             raise ValueError("data length must equal capacity")
         self._data = [int(x) & 1 for x in data]
+        self._executor = None
 
     # --------------------------------------------------------------- resources
     @property
@@ -132,9 +135,25 @@ class BucketBrigadeQRAM:
         Returns:
             Amplitudes over ``(address, bus)`` after the query.
         """
-        executor = BBExecutor(self._capacity, self._data)
+        executor = self.cached_executor()
         state = executor.run_query(address_amplitudes, initial_bus=initial_bus)
         return executor.measured_output(state)
+
+    def cached_executor(self) -> BBExecutor:
+        """The memoized gate-level executor for the current memory contents.
+
+        The executor (and with it every schedule and lowered gate sequence
+        it has memoized) is reused across queries and invalidated by
+        classical memory writes — the same contract as
+        :meth:`repro.core.qram.FatTreeQRAM.cached_executor`.
+        """
+        if self._executor is None:
+            self._executor = BBExecutor(self._capacity, self._data)
+        return self._executor
+
+    def executor(self) -> BBExecutor:
+        """A fresh gate-level executor bound to the current memory contents."""
+        return BBExecutor(self._capacity, self._data)
 
     def query_results(self, addresses: Sequence[int]) -> list[int]:
         """Classical convenience read of several addresses (basis queries)."""

@@ -34,7 +34,13 @@ from repro.bucket_brigade.schedule import _touched_locations
 from repro.bucket_brigade.tree import validate_capacity
 from repro.core.fat_tree import FatTreeStructure
 from repro.core.pipeline import PIPELINE_INTERVAL
-from repro.core.query import QueryRequest, QueryResult, QueryStatus
+from repro.core.query import (
+    QueryRequest,
+    QueryResult,
+    QueryStatus,
+    ideal_query_output,
+    output_fidelity,
+)
 from repro.sim.sparse import SparseState
 
 
@@ -532,12 +538,9 @@ class FatTreeExecutor:
         self, request: QueryRequest
     ) -> dict[tuple[int, int], complex]:
         """Ideal output of a request per Eq. (1)."""
-        amps = dict(request.address_amplitudes or {})
-        norm = sum(abs(a) ** 2 for a in amps.values()) ** 0.5
-        return {
-            (address, request.initial_bus ^ self.data[address]): amp / norm
-            for address, amp in amps.items()
-        }
+        return ideal_query_output(
+            self.data, dict(request.address_amplitudes or {}), request.initial_bus
+        )
 
     def query_fidelity(
         self,
@@ -545,9 +548,7 @@ class FatTreeExecutor:
         output: Mapping[tuple[int, int], complex],
     ) -> float:
         """|<ideal|actual>|^2 for one query's output register."""
-        ideal = self.expected_output(request)
-        overlap = sum(ideal[k].conjugate() * output.get(k, 0.0) for k in ideal)
-        return abs(overlap) ** 2
+        return output_fidelity(self.expected_output(request), output)
 
     def tree_is_clean(self) -> bool:
         """After execution, every tree qubit must be |0> in every branch."""

@@ -28,6 +28,8 @@ class QueryRequest:
             the scheduler; 0 means "available from the start").
         qpu: identifier of the requesting QPU (for multi-QPU workloads).
         initial_bus: initial bus bit ``b`` (the query XORs data into it).
+        priority: admission priority (higher is served first under the
+            priority policy; ties fall back to arrival order).
     """
 
     query_id: int
@@ -35,6 +37,7 @@ class QueryRequest:
     request_time: float = 0.0
     qpu: int = 0
     initial_bus: int = 0
+    priority: int = 0
 
 
 @dataclass
@@ -83,3 +86,29 @@ class QueryResult:
     def queue_delay_layers(self) -> float:
         """Raw layers the request waited before being admitted."""
         return self.start_layer - self.request_time
+
+
+def ideal_query_output(
+    data, address_amplitudes: Mapping[int, complex], initial_bus: int = 0
+) -> dict[tuple[int, int], complex]:
+    """Ideal normalised output of one query per the unitary of Eq. (1).
+
+    This is the single implementation every executor and backend scores
+    against: ``sum_i alpha_i |i>|b> -> sum_i alpha_i |i>|b XOR x_i>``.
+    """
+    if not address_amplitudes:
+        raise ValueError("query carries no address amplitudes")
+    norm = sum(abs(a) ** 2 for a in address_amplitudes.values()) ** 0.5
+    return {
+        (address, initial_bus ^ (int(data[address]) & 1)): amp / norm
+        for address, amp in address_amplitudes.items()
+    }
+
+
+def output_fidelity(
+    ideal: Mapping[tuple[int, int], complex],
+    actual: Mapping[tuple[int, int], complex],
+) -> float:
+    """``|<ideal|actual>|^2`` between two output registers."""
+    overlap = sum(amp.conjugate() * actual.get(key, 0.0) for key, amp in ideal.items())
+    return abs(overlap) ** 2

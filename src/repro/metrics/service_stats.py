@@ -1,10 +1,14 @@
-"""Per-tenant / per-shard serving statistics for the QRAM service layer.
+"""Per-tenant / per-shard / per-backend serving statistics.
 
 The serving subsystem (:mod:`repro.service`) records one
 :class:`ServedQuery` per completed request and one :class:`WindowRecord`
 per executed pipeline window; this module aggregates them into the
 latency / queue-depth / utilization / bandwidth summaries that a shared
-memory serving many callers is judged by.
+memory serving many callers is judged by.  Since the service can drive a
+heterogeneous fleet (per-shard architecture choice via
+:mod:`repro.backends`), every record carries its backend's architecture
+label and the summary reports per-architecture aggregates alongside the
+per-tenant and per-shard ones.
 
 All times are raw circuit layers on the service clock.  Conversions to
 wall-clock treat one raw layer as one full CSWAP layer at the hardware
@@ -32,6 +36,7 @@ class ServedQuery:
         finish_layer: raw layer at which the query completed.
         fidelity: |<ideal|actual>|^2 of the output register (None for
             timing-only serving).
+        architecture: architecture name of the serving backend.
     """
 
     query_id: int
@@ -42,6 +47,7 @@ class ServedQuery:
     start_layer: float
     finish_layer: float
     fidelity: float | None = None
+    architecture: str = ""
 
     @property
     def latency_layers(self) -> float:
@@ -62,8 +68,10 @@ class WindowRecord:
         shard: shard the window ran on.
         admit_layer: when the window started.
         batch_size: queries admitted into the window.
-        interval: admission interval used inside the window (raw layers).
+        interval: admission interval used inside the window (raw layers;
+            0 for architectures that admit a window concurrently).
         total_layers: raw layers until the window fully drained.
+        architecture: architecture name of the serving backend.
     """
 
     shard: int
@@ -71,6 +79,7 @@ class WindowRecord:
     batch_size: int
     interval: int
     total_layers: float
+    architecture: str = ""
 
 
 @dataclass(frozen=True)
@@ -96,6 +105,27 @@ class ShardStats:
     busy_layers: float
     utilization: float
     max_queue_depth: int
+    architecture: str = ""
+
+
+@dataclass(frozen=True)
+class BackendStats:
+    """Aggregate load and serving quality of one backend architecture.
+
+    In a heterogeneous fleet this is the cross-architecture comparison:
+    how many queries each architecture absorbed, at what latency, and how
+    long its shards stayed busy.
+    """
+
+    architecture: str
+    shards: int
+    queries: int
+    windows: int
+    mean_batch_size: float
+    mean_latency_layers: float
+    mean_queue_delay_layers: float
+    busy_layers: float
+    throughput_queries_per_sec: float
 
 
 @dataclass(frozen=True)
@@ -111,6 +141,8 @@ class ServiceStats:
             CLOPS (raw layers counted as full layers).
         per_tenant: per-tenant summaries, keyed by tenant id.
         per_shard: per-shard summaries, keyed by shard index.
+        per_backend: per-architecture summaries, keyed by architecture
+            name (one entry per distinct backend label).
     """
 
     total_queries: int
@@ -120,6 +152,7 @@ class ServiceStats:
     bandwidth_queries_per_sec: float
     per_tenant: dict[int, TenantStats] = field(default_factory=dict)
     per_shard: dict[int, ShardStats] = field(default_factory=dict)
+    per_backend: dict[str, BackendStats] = field(default_factory=dict)
 
 
 def summarize_service(
@@ -145,9 +178,11 @@ def summarize_service(
 
     by_tenant: dict[int, list[ServedQuery]] = {}
     by_shard: dict[int, list[ServedQuery]] = {}
+    by_backend: dict[str, list[ServedQuery]] = {}
     for record in served:
         by_tenant.setdefault(record.tenant, []).append(record)
         by_shard.setdefault(record.shard, []).append(record)
+        by_backend.setdefault(record.architecture, []).append(record)
 
     per_tenant = {
         tenant: TenantStats(
@@ -162,8 +197,10 @@ def summarize_service(
     }
 
     windows_by_shard: dict[int, list[WindowRecord]] = {}
+    windows_by_backend: dict[str, list[WindowRecord]] = {}
     for window in windows:
         windows_by_shard.setdefault(window.shard, []).append(window)
+        windows_by_backend.setdefault(window.architecture, []).append(window)
     per_shard = {}
     for shard, records in sorted(by_shard.items()):
         shard_windows = windows_by_shard.get(shard, [])
@@ -176,6 +213,22 @@ def summarize_service(
             busy_layers=busy,
             utilization=min(1.0, busy / makespan) if makespan > 0 else 0.0,
             max_queue_depth=depths.get(shard, 0),
+            architecture=records[0].architecture,
+        )
+
+    per_backend = {}
+    for architecture, records in sorted(by_backend.items()):
+        backend_windows = windows_by_backend.get(architecture, [])
+        per_backend[architecture] = BackendStats(
+            architecture=architecture,
+            shards=len({r.shard for r in records}),
+            queries=len(records),
+            windows=len(backend_windows),
+            mean_batch_size=_mean([w.batch_size for w in backend_windows]),
+            mean_latency_layers=_mean([r.latency_layers for r in records]),
+            mean_queue_delay_layers=_mean([r.queue_delay_layers for r in records]),
+            busy_layers=sum(w.total_layers for w in backend_windows),
+            throughput_queries_per_sec=len(records) / seconds,
         )
 
     return ServiceStats(
@@ -186,6 +239,7 @@ def summarize_service(
         bandwidth_queries_per_sec=len(served) / seconds,
         per_tenant=per_tenant,
         per_shard=per_shard,
+        per_backend=per_backend,
     )
 
 

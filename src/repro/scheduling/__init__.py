@@ -2,8 +2,12 @@
 
 * :mod:`repro.scheduling.events` — query arrival streams (periodic workloads
   with processing gaps, online/random arrivals, bursts).
-* :mod:`repro.scheduling.fifo` — FIFO scheduling and alternative policies,
-  plus the empirical check of the greedy-exchange optimality proof (Sec. A.2).
+* :mod:`repro.scheduling.policy` — the pluggable admission-policy objects
+  (FIFO / LIFO / random / priority) used by the scheduler and the serving
+  layer.
+* :mod:`repro.scheduling.fifo` — FIFO scheduling (with the deprecated
+  ``SchedulingPolicy`` enum alias), plus the empirical check of the
+  greedy-exchange optimality proof (Sec. A.2).
 * :mod:`repro.scheduling.contention` — discrete-event simulation of multiple
   QPUs/algorithms sharing one QRAM (the engine behind Fig. 7 and Fig. 10).
 * :mod:`repro.scheduling.utilization` — utilization accounting.
@@ -21,6 +25,14 @@ from repro.scheduling.fifo import (
     total_latency,
     verify_fifo_optimality,
 )
+from repro.scheduling.policy import (
+    AdmissionPolicy,
+    FIFOPolicy,
+    LIFOPolicy,
+    PriorityPolicy,
+    RandomPolicy,
+    as_policy,
+)
 from repro.scheduling.contention import (
     AlgorithmWorkload,
     QRAMServiceModel,
@@ -35,6 +47,12 @@ __all__ = [
     "random_arrivals",
     "burst_arrivals",
     "SchedulingPolicy",
+    "AdmissionPolicy",
+    "FIFOPolicy",
+    "LIFOPolicy",
+    "RandomPolicy",
+    "PriorityPolicy",
+    "as_policy",
     "schedule_queries",
     "total_latency",
     "verify_fifo_optimality",

@@ -12,18 +12,33 @@ from __future__ import annotations
 
 import enum
 import itertools
-import random
 from dataclasses import dataclass
 
 from repro.scheduling.events import QueryArrival
 
 
 class SchedulingPolicy(enum.Enum):
-    """Order in which queued requests are admitted."""
+    """Order in which queued requests are admitted.
+
+    .. deprecated::
+        This enum is a legacy alias for the pluggable policy objects in
+        :mod:`repro.scheduling.policy` (:class:`AdmissionPolicy` and its
+        subclasses), which the serving layer uses directly.  Enum members
+        remain accepted everywhere a policy is expected —
+        :func:`repro.scheduling.policy.as_policy` maps them onto policy
+        objects — but new code should pass policy objects (or their string
+        names, e.g. ``"priority"``).
+    """
 
     FIFO = "fifo"
     LIFO = "lifo"
     RANDOM = "random"
+
+    def to_policy(self, seed: int = 0):
+        """The equivalent :class:`repro.scheduling.policy.AdmissionPolicy`."""
+        from repro.scheduling.policy import as_policy
+
+        return as_policy(self, seed=seed)
 
 
 @dataclass(frozen=True)
@@ -53,7 +68,7 @@ def schedule_queries(
     service_time: float,
     admission_interval: float,
     parallelism: int,
-    policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+    policy=SchedulingPolicy.FIFO,
     seed: int = 0,
 ) -> list[ScheduledQuery]:
     """Admit queries into a pipelined shared QRAM.
@@ -68,17 +83,21 @@ def schedule_queries(
         service_time: per-query service latency in weighted layers.
         admission_interval: minimum spacing between admissions.
         parallelism: maximum queries in flight.
-        policy: admission order among queued requests.
+        policy: admission order among queued requests — an
+            :class:`repro.scheduling.policy.AdmissionPolicy`, a policy name,
+            or a deprecated :class:`SchedulingPolicy` member.
         seed: RNG seed for the RANDOM policy.
 
     Returns:
         One :class:`ScheduledQuery` per request, in admission order.
     """
+    from repro.scheduling.policy import as_policy
+
     if service_time <= 0 or admission_interval <= 0:
         raise ValueError("service_time and admission_interval must be positive")
     if parallelism < 1:
         raise ValueError("parallelism must be >= 1")
-    rng = random.Random(seed)
+    admission = as_policy(policy, seed=seed)
     pending = sorted(arrivals, key=lambda a: (a.request_time, a.query_id))
     scheduled: list[ScheduledQuery] = []
     in_flight: list[float] = []  # finish times
@@ -100,12 +119,7 @@ def schedule_queries(
             and current_time >= next_admission_slot
         )
         if can_admit:
-            if policy is SchedulingPolicy.FIFO:
-                chosen = queue.pop(0)
-            elif policy is SchedulingPolicy.LIFO:
-                chosen = queue.pop()
-            else:
-                chosen = queue.pop(rng.randrange(len(queue)))
+            chosen = admission.select(queue, 1, current_time)[0]
             finish = current_time + service_time
             scheduled.append(
                 ScheduledQuery(

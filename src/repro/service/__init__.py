@@ -1,17 +1,28 @@
-"""QRAM serving layer: multi-shard, batched, policy-driven traffic front-end.
+"""QRAM serving layer: multi-backend fleet, sharded, batched, policy-driven.
 
-* :mod:`repro.service.sharding` — address-interleaved sharding of the
-  global address space over independent Fat-Tree QRAM shards.
+* :mod:`repro.service.sharding` — placement maps: address-interleaved
+  sharding of the global address space, or full replication for
+  shortest-queue placement.
 * :mod:`repro.service.service` — the :class:`QRAMService` event loop:
-  trace admission, per-shard pipeline windows of up to ``log2(N/K)``
-  queries, pluggable scheduling policy, per-tenant statistics.
+  trace admission, per-backend pipeline windows, pluggable admission
+  policy (:mod:`repro.scheduling.policy`), per-tenant / per-shard /
+  per-backend statistics.  Each shard is any registered architecture
+  (Fat-Tree, BB, Virtual, D-Fat-Tree, D-BB) behind the
+  :class:`repro.backends.QRAMBackend` protocol.
 """
 
-from repro.service.service import QRAMService, ServiceReport
-from repro.service.sharding import InterleavedShardMap
+from repro.service.service import PLACEMENTS, QRAMService, ServiceReport
+from repro.service.sharding import (
+    ANY_SHARD,
+    InterleavedShardMap,
+    ReplicatedShardMap,
+)
 
 __all__ = [
     "QRAMService",
     "ServiceReport",
     "InterleavedShardMap",
+    "ReplicatedShardMap",
+    "ANY_SHARD",
+    "PLACEMENTS",
 ]

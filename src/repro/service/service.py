@@ -1,33 +1,38 @@
-"""Traffic-facing QRAM serving layer (multi-shard, batched, policy-driven).
+"""Traffic-facing QRAM serving layer (multi-backend, sharded, policy-driven).
 
-The paper establishes that one Fat-Tree QRAM sustains ``log2(N)``
-concurrent queries; this module turns that capability into a *service*: a
-:class:`QRAMService` owns one or more Fat-Tree shards (address-interleaved
-via :class:`repro.service.sharding.InterleavedShardMap`), accepts traces of
-:class:`repro.core.query.QueryRequest` objects with arrival times, and
-drives an event loop that batches queued requests into pipeline windows of
-up to ``log2(N / K)`` queries per shard.  Admission order within a queue is
-a pluggable :class:`repro.scheduling.fifo.SchedulingPolicy` (FIFO is
-provably latency-optimal, Sec. A.2).
+A :class:`QRAMService` owns a fleet of execution backends — one per shard,
+each an arbitrary registered architecture (Fat-Tree, BB, Virtual,
+D-Fat-Tree, D-BB) built through
+:func:`repro.baselines.registry.build_backend` — and drives an event loop
+that batches queued :class:`repro.core.query.QueryRequest` traces into
+per-backend pipeline windows.
 
-Each shard reuses one cached gate-level executor, so the relative schedule,
-the lowered gate sequences and the minimum feasible admission interval are
-derived once per memory image and hit their memoized values on every
-window — the schedule-cache fast path measured by
-``benchmarks/bench_service_throughput.py``.
+Placement is pluggable: address-interleaved sharding
+(:class:`repro.service.sharding.InterleavedShardMap`; a query's address
+superposition pins it to one shard) or full replication with
+shortest-queue placement (:class:`~repro.service.sharding.ReplicatedShardMap`).
+Admission order within a queue is an
+:class:`repro.scheduling.policy.AdmissionPolicy` (FIFO — provably
+latency-optimal, Sec. A.2 — LIFO, random, or priority); the deprecated
+:class:`repro.scheduling.fifo.SchedulingPolicy` enum is still accepted.
 
-All service times are raw circuit layers on one global clock; per-tenant
-latency / queue-depth / utilization / bandwidth summaries come from
+Each gate-level backend reuses one cached executor, so schedules, lowered
+gate sequences and admission intervals are derived once per memory image
+and hit their memoized values on every window — the schedule-cache fast
+path measured by ``benchmarks/bench_service_throughput.py`` for both the
+Fat-Tree and BB backends.
+
+All service times are raw circuit layers on one global clock; per-tenant /
+per-shard / per-backend summaries come from
 :mod:`repro.metrics.service_stats`.
 """
 
 from __future__ import annotations
 
-import random
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from repro.core.qram import FatTreeQRAM
+from repro.baselines.registry import build_backend
 from repro.core.query import QueryRequest
 from repro.metrics.service_stats import (
     ServedQuery,
@@ -35,8 +40,15 @@ from repro.metrics.service_stats import (
     WindowRecord,
     summarize_service,
 )
-from repro.scheduling.fifo import SchedulingPolicy
-from repro.service.sharding import InterleavedShardMap
+from repro.scheduling.policy import AdmissionPolicy, as_policy
+from repro.service.sharding import (
+    ANY_SHARD,
+    InterleavedShardMap,
+    ReplicatedShardMap,
+)
+
+#: Valid placement modes for the service fleet.
+PLACEMENTS = ("interleaved", "shortest-queue")
 
 
 @dataclass
@@ -46,7 +58,7 @@ class ServiceReport:
     Attributes:
         served: one record per completed query, in completion order.
         windows: one record per executed pipeline window.
-        stats: aggregated per-tenant / per-shard statistics.
+        stats: aggregated per-tenant / per-shard / per-backend statistics.
         outputs: per-query output amplitudes over global ``(address, bus)``
             pairs (empty when serving timing-only).
     """
@@ -65,22 +77,34 @@ class ServiceReport:
 
 
 class QRAMService:
-    """A multi-shard Fat-Tree QRAM serving query traffic.
+    """A fleet of QRAM backends serving query traffic.
 
     Args:
         capacity: global address-space size ``N`` (power of two).
-        num_shards: number of address-interleaved Fat-Tree shards.
+        num_shards: number of shards in the fleet.
         data: global classical memory contents (defaults to zeros).
-        policy: admission order among queued requests per shard.
+        policy: admission order among queued requests per shard — an
+            :class:`AdmissionPolicy`, a policy name ("fifo" / "lifo" /
+            "random" / "priority"), or a deprecated
+            :class:`repro.scheduling.fifo.SchedulingPolicy` member.
         window_size: maximum queries batched into one pipeline window.
-            Defaults to — and is capped at — the shard's query parallelism
-            ``log2(N / K)``: the architecture cannot pipeline more queries
-            concurrently, and oversized windows only grow the simulated
-            state exponentially.
-        functional: when True every window runs on the gate-level executor
-            and output amplitudes / fidelities are reported; when False the
-            service is timing-only (same schedule, no state evolution).
-        seed: RNG seed for the RANDOM policy.
+            Capped per shard at the backend's query parallelism: the
+            architecture cannot pipeline more queries concurrently, and
+            oversized windows only grow the simulated state exponentially.
+        functional: when True every window runs on the backend's functional
+            path and output amplitudes / fidelities are reported; when
+            False the service is timing-only (same schedule, no state
+            evolution).
+        seed: RNG seed for the random policy.
+        architecture: architecture served by every shard (any name from
+            :func:`repro.baselines.registry.backend_names`).
+        architectures: per-shard architecture names (a heterogeneous
+            fleet); overrides ``architecture`` and must have one entry per
+            shard.
+        placement: ``"interleaved"`` (address-interleaved shards; queries
+            are pinned to the shard owning their addresses) or
+            ``"shortest-queue"`` (every shard replicates the full memory
+            and each query is placed on the least-loaded shard).
     """
 
     def __init__(
@@ -88,32 +112,54 @@ class QRAMService:
         capacity: int,
         num_shards: int = 2,
         data: Sequence[int] | None = None,
-        policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+        policy: AdmissionPolicy | object = "fifo",
         window_size: int | None = None,
         functional: bool = True,
         seed: int = 0,
+        architecture: str = "Fat-Tree",
+        architectures: Sequence[str] | None = None,
+        placement: str = "interleaved",
     ) -> None:
-        self.shard_map = InterleavedShardMap(capacity, num_shards)
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {placement!r}; expected one of {PLACEMENTS}"
+            )
+        self.placement = placement
+        if placement == "interleaved":
+            self.shard_map = InterleavedShardMap(capacity, num_shards)
+        else:
+            self.shard_map = ReplicatedShardMap(capacity, num_shards)
+
+        if architectures is None:
+            architectures = [architecture] * num_shards
+        elif len(architectures) != num_shards:
+            raise ValueError(
+                f"architectures must name one backend per shard "
+                f"({len(architectures)} names for {num_shards} shards)"
+            )
+
         memory = [0] * capacity if data is None else [int(x) & 1 for x in data]
         if len(memory) != capacity:
             raise ValueError("data length must equal capacity")
         self.shards = [
-            FatTreeQRAM(
+            build_backend(
+                name,
                 self.shard_map.shard_capacity,
                 self.shard_map.shard_data(memory, shard),
             )
-            for shard in range(num_shards)
+            for shard, name in enumerate(architectures)
         ]
-        self.policy = policy
-        parallelism = self.shards[0].query_parallelism
-        if window_size is None:
-            self.window_size = parallelism
-        else:
-            if window_size < 1:
-                raise ValueError("window_size must be >= 1")
-            self.window_size = min(window_size, parallelism)
+        self.architectures = [backend.name for backend in self.shards]
+        self.policy = as_policy(policy, seed=seed)
+        if window_size is not None and window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        self.window_sizes = [
+            backend.query_parallelism
+            if window_size is None
+            else max(1, min(window_size, backend.query_parallelism))
+            for backend in self.shards
+        ]
         self.functional = functional
-        self._rng = random.Random(seed)
 
     # -------------------------------------------------------------- structure
     @property
@@ -125,14 +171,20 @@ class QRAMService:
         return self.shard_map.num_shards
 
     @property
+    def window_size(self) -> int:
+        """Largest pipeline window any shard in the fleet batches."""
+        return max(self.window_sizes)
+
+    @property
     def query_parallelism(self) -> int:
-        """Concurrent queries the whole service sustains: ``K log2(N/K)``."""
-        return sum(shard.query_parallelism for shard in self.shards)
+        """Concurrent queries the whole fleet sustains (sum over shards)."""
+        return sum(backend.query_parallelism for backend in self.shards)
 
     def write_memory(self, address: int, value: int) -> None:
-        """Update one global memory cell (routed to its shard)."""
-        shard = self.shard_map.shard_of(address)
-        self.shards[shard].write_memory(self.shard_map.local_address(address), value)
+        """Update one global memory cell (routed to every owning shard)."""
+        local = self.shard_map.local_address(address)
+        for shard in self.shard_map.owners(address):
+            self.shards[shard].write_memory(local, value)
 
     # ---------------------------------------------------------------- serving
     def serve(
@@ -142,14 +194,14 @@ class QRAMService:
 
         The event loop advances a global raw-layer clock over request
         arrivals and shard-free events.  Whenever a shard is idle and has
-        queued requests, up to ``window_size`` of them (chosen by the
-        admission policy) are batched into one pipeline window; the shard is
-        busy until the window fully drains.
+        queued requests, up to its window size of them (chosen by the
+        admission policy) are batched into one pipeline window; the shard
+        is busy until the window fully drains.
 
         Args:
-            requests: query requests; each must carry a shard-aligned
-                address superposition and an arrival ``request_time`` in raw
-                layers.
+            requests: query requests; each must carry an address
+                superposition (shard-aligned under interleaved placement)
+                and an arrival ``request_time`` in raw layers.
             clops: hardware clock used for the queries-per-second numbers.
         """
         if not requests:
@@ -186,13 +238,15 @@ class QRAMService:
             while index < len(pending) and pending[index].request_time <= now:
                 request = pending[index]
                 shard = routed[request.query_id][0]
+                if shard == ANY_SHARD:
+                    shard = self._shortest_queue(queues, free_at, now)
                 queues[shard].append(request)
                 max_depth[shard] = max(max_depth[shard], len(queues[shard]))
                 index += 1
 
             for shard, queue in enumerate(queues):
                 if queue and free_at[shard] <= now:
-                    batch = self._pick_batch(queue)
+                    batch = self.policy.select(queue, self.window_sizes[shard], now)
                     window, records = self._execute_window(
                         shard, batch, admit=now, routed=routed, outputs=outputs
                     )
@@ -202,19 +256,21 @@ class QRAMService:
 
         served.sort(key=lambda s: (s.finish_layer, s.query_id))
         stats = summarize_service(served, windows, max_depth, clops=clops)
-        return ServiceReport(served=served, windows=windows, stats=stats, outputs=outputs)
+        return ServiceReport(
+            served=served, windows=windows, stats=stats, outputs=outputs
+        )
 
-    def _pick_batch(self, queue: list[QueryRequest]) -> list[QueryRequest]:
-        """Remove up to ``window_size`` requests from a queue by policy."""
-        count = min(self.window_size, len(queue))
-        if self.policy is SchedulingPolicy.FIFO:
-            batch = queue[:count]
-            del queue[:count]
-        elif self.policy is SchedulingPolicy.LIFO:
-            batch = [queue.pop() for _ in range(count)]
-        else:
-            batch = [queue.pop(self._rng.randrange(len(queue))) for _ in range(count)]
-        return batch
+    @staticmethod
+    def _shortest_queue(
+        queues: Sequence[Sequence[QueryRequest]],
+        free_at: Sequence[float],
+        now: float,
+    ) -> int:
+        """Least-loaded shard: fewest queued requests, then earliest free."""
+        return min(
+            range(len(queues)),
+            key=lambda shard: (len(queues[shard]), max(free_at[shard], now), shard),
+        )
 
     def _execute_window(
         self,
@@ -224,76 +280,52 @@ class QRAMService:
         routed: dict[int, tuple[int, dict[int, complex]]],
         outputs: dict[int, dict[tuple[int, int], complex]],
     ) -> tuple[WindowRecord, list[ServedQuery]]:
-        """Run one pipeline window on one shard, at absolute layer ``admit``.
+        """Run one pipeline window on one backend, at absolute layer ``admit``.
 
-        Requests are renumbered to window slots 0..k-1 before execution so
-        the shard executor's schedule and lowering caches are shared across
-        every window of the trace.
+        The backend receives shard-local requests (translated address
+        superpositions) and renumbers them to window slots internally, so
+        its schedule and lowering caches are shared across every window of
+        the trace.
         """
-        executor = self.shards[shard].cached_executor()
-        interval = executor.minimum_feasible_interval(len(batch))
-        lifetime = executor.relative_raw_latency()
-        records: list[ServedQuery] = []
-
-        if self.functional:
-            local_requests = [
-                QueryRequest(
-                    query_id=slot,
-                    address_amplitudes=routed[request.query_id][1],
-                    request_time=request.request_time,
-                    qpu=request.qpu,
-                    initial_bus=request.initial_bus,
-                )
-                for slot, request in enumerate(batch)
-            ]
-            summary, window_outputs = executor.run_pipelined_queries(
-                local_requests, interval=interval
+        backend = self.shards[shard]
+        local_requests = [
+            QueryRequest(
+                query_id=request.query_id,
+                address_amplitudes=routed[request.query_id][1],
+                request_time=request.request_time,
+                qpu=request.qpu,
+                initial_bus=request.initial_bus,
+                priority=request.priority,
             )
-            total_layers = float(summary.total_layers)
-            for slot, request in enumerate(batch):
-                outputs[request.query_id] = self.shard_map.to_global_outputs(
-                    shard, window_outputs[slot]
-                )
-                fidelity = executor.query_fidelity(
-                    local_requests[slot], window_outputs[slot]
-                )
-                records.append(
-                    self._record(shard, request, admit, slot, interval, lifetime, fidelity)
-                )
-        else:
-            total_layers = float((len(batch) - 1) * interval + lifetime)
-            for slot, request in enumerate(batch):
-                records.append(
-                    self._record(shard, request, admit, slot, interval, lifetime, None)
-                )
+            for request in batch
+        ]
+        result = backend.run_window(local_requests, functional=self.functional)
 
+        records: list[ServedQuery] = []
+        for slot, request in enumerate(batch):
+            if result.outputs[slot] is not None:
+                outputs[request.query_id] = self.shard_map.to_global_outputs(
+                    shard, result.outputs[slot]
+                )
+            records.append(
+                ServedQuery(
+                    query_id=request.query_id,
+                    tenant=request.qpu,
+                    shard=shard,
+                    request_time=request.request_time,
+                    admit_layer=admit,
+                    start_layer=admit + result.start_offsets[slot],
+                    finish_layer=admit + result.finish_offsets[slot],
+                    fidelity=result.fidelities[slot],
+                    architecture=backend.name,
+                )
+            )
         window = WindowRecord(
             shard=shard,
             admit_layer=admit,
             batch_size=len(batch),
-            interval=interval,
-            total_layers=total_layers,
+            interval=result.interval,
+            total_layers=result.total_layers,
+            architecture=backend.name,
         )
         return window, records
-
-    @staticmethod
-    def _record(
-        shard: int,
-        request: QueryRequest,
-        admit: float,
-        slot: int,
-        interval: int,
-        lifetime: int,
-        fidelity: float | None,
-    ) -> ServedQuery:
-        start = admit + slot * interval + 1
-        return ServedQuery(
-            query_id=request.query_id,
-            tenant=request.qpu,
-            shard=shard,
-            request_time=request.request_time,
-            admit_layer=admit,
-            start_layer=start,
-            finish_layer=start + lifetime - 1,
-            fidelity=fidelity,
-        )

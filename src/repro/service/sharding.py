@@ -1,13 +1,24 @@
-"""Address-interleaved sharding of a QRAM address space.
+"""Sharding / placement maps for the QRAM serving layer.
 
-A capacity-``N`` address space served by ``K`` shards assigns global
-address ``a`` to shard ``a mod K`` at local address ``a div K`` — the
-classic low-order interleaving that spreads any address-local working set
-evenly across shards.  Each shard is an independent capacity-``N/K``
-Fat-Tree QRAM, so a query's address superposition must stay within one
-shard's address set (amplitudes entangled across physically independent
-QRAMs cannot be served without inter-shard operations); the trace
-generators in :mod:`repro.workloads` emit shard-aligned superpositions.
+Two placements are supported:
+
+* :class:`InterleavedShardMap` — a capacity-``N`` address space served by
+  ``K`` shards assigns global address ``a`` to shard ``a mod K`` at local
+  address ``a div K``: the classic low-order interleaving that spreads any
+  address-local working set evenly across shards.  Each shard is an
+  independent capacity-``N/K`` QRAM, so a query's address superposition
+  must stay within one shard's address set (amplitudes entangled across
+  physically independent QRAMs cannot be served without inter-shard
+  operations); the trace generators in :mod:`repro.workloads` emit
+  shard-aligned superpositions.
+* :class:`ReplicatedShardMap` — every shard holds the full capacity-``N``
+  memory.  Any query can run on any shard (``route`` returns
+  :data:`ANY_SHARD` and the service picks one, e.g. shortest-queue), at the
+  cost of ``K``-fold hardware and of mirroring every classical write.
+
+Both maps expose the same surface: ``shard_capacity``, ``shard_data``,
+``route``, ``owners`` / ``local_address`` (for writes) and
+``to_global_outputs``.
 """
 
 from __future__ import annotations
@@ -15,6 +26,10 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.bucket_brigade.tree import validate_capacity
+
+#: Sentinel shard returned by :meth:`ReplicatedShardMap.route`: the request
+#: may run on any shard and the service chooses at admission time.
+ANY_SHARD = -1
 
 
 class InterleavedShardMap:
@@ -42,6 +57,10 @@ class InterleavedShardMap:
         """Shard owning a global address."""
         self._check(address)
         return address % self.num_shards
+
+    def owners(self, address: int) -> list[int]:
+        """Shards a classical write to this address must reach (exactly one)."""
+        return [self.shard_of(address)]
 
     def local_address(self, address: int) -> int:
         """Address of a global address within its shard."""
@@ -101,6 +120,71 @@ class InterleavedShardMap:
             (self.global_address(shard, local), bus): amp
             for (local, bus), amp in outputs.items()
         }
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < self.capacity:
+            raise ValueError(f"address {address} out of range")
+
+
+class ReplicatedShardMap:
+    """Full-replication placement: every shard holds the whole memory.
+
+    Queries are not pinned to a shard by their address — ``route`` returns
+    :data:`ANY_SHARD` and the serving loop places the request (shortest
+    queue); classical writes are mirrored into every shard.
+
+    Args:
+        capacity: global address-space size ``N`` (power of two).
+        num_shards: number of full-capacity replicas (>= 1; unlike
+            interleaving, any count is valid).
+    """
+
+    def __init__(self, capacity: int, num_shards: int) -> None:
+        validate_capacity(capacity)
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.capacity = capacity
+        self.num_shards = num_shards
+        self.shard_capacity = capacity
+
+    def owners(self, address: int) -> list[int]:
+        """Writes must reach every replica."""
+        self._check(address)
+        return list(range(self.num_shards))
+
+    def local_address(self, address: int) -> int:
+        """Replicas use the global address space directly."""
+        self._check(address)
+        return address
+
+    def shard_data(self, data: Sequence[int], shard: int) -> list[int]:
+        """Every replica holds the full memory image."""
+        if len(data) != self.capacity:
+            raise ValueError("data length must equal capacity")
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range")
+        return list(data)
+
+    def route(
+        self, address_amplitudes: Mapping[int, complex]
+    ) -> tuple[int, dict[int, complex]]:
+        """Validate a superposition; any replica may serve it.
+
+        Returns:
+            ``(ANY_SHARD, amplitudes)`` — the serving loop chooses the
+            replica at admission time.
+        """
+        if not address_amplitudes:
+            raise ValueError("empty address superposition")
+        for address in address_amplitudes:
+            self._check(address)
+        return ANY_SHARD, dict(address_amplitudes)
+
+    def to_global_outputs(
+        self, shard: int, outputs: Mapping[tuple[int, int], complex]
+    ) -> dict[tuple[int, int], complex]:
+        """Replica outputs are already in the global address space."""
+        return dict(outputs)
 
     def _check(self, address: int) -> None:
         if not 0 <= address < self.capacity:

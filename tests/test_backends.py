@@ -1,0 +1,254 @@
+"""Backend protocol conformance and multi-backend serving integration."""
+
+import pytest
+
+from repro import QRAMService, QueryRequest, build_backend
+from repro.backends import QRAMBackend, WindowResult
+from repro.baselines.registry import (
+    architecture_names,
+    backend_names,
+    build_architecture,
+    resolve_architecture,
+)
+from repro.scheduling.policy import (
+    FIFOPolicy,
+    PriorityPolicy,
+    as_policy,
+)
+from repro.scheduling.fifo import SchedulingPolicy
+from repro.workloads import poisson_trace, random_data
+
+CAPACITY = 8
+ALL_BACKENDS = backend_names()
+
+
+# ----------------------------------------------------------------- protocol
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+def test_backend_protocol_surface(name):
+    backend = build_backend(name, CAPACITY, random_data(CAPACITY, seed=1))
+    assert isinstance(backend, QRAMBackend)
+    assert backend.name == name
+    assert backend.capacity == CAPACITY
+    assert backend.address_width == 3
+    assert backend.query_parallelism >= 1
+    assert backend.qubit_count > 0
+    assert backend.minimum_feasible_interval() >= 0
+    assert backend.single_query_latency() > 0
+    assert backend.amortized_query_latency() > 0
+
+
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+def test_backend_matches_architecture_model(name):
+    """The backend serves the same architecture the registry tabulates."""
+    data = random_data(CAPACITY, seed=2)
+    backend = build_backend(name, CAPACITY, data)
+    model = build_architecture(name, CAPACITY, data)
+    assert backend.qubit_count == model.qubit_count
+    assert backend.query_parallelism == model.query_parallelism
+    assert backend.single_query_latency() == model.single_query_latency()
+
+
+def test_registry_backend_views_stay_coherent():
+    """backend_names() and build_backend derive from the same spec field."""
+    from repro.baselines.registry import ARCHITECTURES, ArchitectureSpec
+
+    ARCHITECTURES["No-Backend"] = ArchitectureSpec(
+        "No-Backend", lambda capacity, data=None: None, "O(N)"
+    )
+    try:
+        assert "No-Backend" in architecture_names()
+        assert "No-Backend" not in backend_names()
+        with pytest.raises(KeyError, match="no execution backend"):
+            build_backend("No-Backend", CAPACITY)
+    finally:
+        del ARCHITECTURES["No-Backend"]
+    # Every advertised backend name actually builds.
+    for name in backend_names():
+        assert build_backend(name, CAPACITY).name == name
+
+
+def test_registry_resolves_any_capitalization():
+    assert resolve_architecture("fat-tree").name == "Fat-Tree"
+    assert resolve_architecture("VIRTUAL").name == "Virtual"
+    with pytest.raises(KeyError):
+        resolve_architecture("Hyper-Tree")
+    with pytest.raises(KeyError):
+        build_backend("Hyper-Tree", CAPACITY)
+
+
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+def test_backend_window_functional_outputs(name):
+    data = random_data(CAPACITY, seed=3)
+    backend = build_backend(name, CAPACITY, data)
+    requests = [
+        QueryRequest(0, {1: 0.6, 5: 0.8}),
+        QueryRequest(1, {2: 1.0}, initial_bus=1),
+    ]
+    result = backend.run_window(requests, functional=True)
+    assert isinstance(result, WindowResult)
+    assert result.batch_size == 2
+    assert result.total_layers >= max(result.finish_offsets)
+    for slot, request in enumerate(requests):
+        assert result.fidelities[slot] == pytest.approx(1.0)
+        for (address, bus), _amp in result.outputs[slot].items():
+            assert bus == data[address] ^ request.initial_bus
+        assert result.finish_offsets[slot] > result.start_offsets[slot] > 0
+
+
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+def test_backend_window_timing_only(name):
+    backend = build_backend(name, CAPACITY)
+    requests = [QueryRequest(i, {0: 1.0}) for i in range(2)]
+    functional = backend.run_window(requests, functional=True)
+    timing = backend.run_window(requests, functional=False)
+    assert timing.outputs == (None, None)
+    assert timing.fidelities == (None, None)
+    assert timing.start_offsets == functional.start_offsets
+    assert timing.finish_offsets == functional.finish_offsets
+    with pytest.raises(ValueError):
+        backend.run_window([])
+
+
+def test_bb_backend_is_sequential():
+    backend = build_backend("BB", CAPACITY)
+    assert backend.query_parallelism == 1
+    lifetime = backend.qram.raw_query_layers
+    result = backend.run_window(
+        [QueryRequest(i, {0: 1.0}) for i in range(3)], functional=False
+    )
+    assert result.interval == lifetime
+    assert result.total_layers == 3 * lifetime
+    assert result.start_offsets == (1.0, lifetime + 1.0, 2 * lifetime + 1.0)
+
+
+def test_backend_write_invalidates_caches():
+    """Writes must reach the cached executors of every backend."""
+    for name in ALL_BACKENDS:
+        backend = build_backend(name, CAPACITY, [0] * CAPACITY)
+        before = backend.run_window([QueryRequest(0, {3: 1.0})]).outputs[0]
+        assert before == {(3, 0): pytest.approx(1.0)}
+        backend.write_memory(3, 1)
+        after = backend.run_window([QueryRequest(0, {3: 1.0})]).outputs[0]
+        assert after == {(3, 1): pytest.approx(1.0)}, name
+
+
+def test_bb_cached_executor_reused_until_write():
+    backend = build_backend("BB", CAPACITY)
+    first = backend.cached_executor()
+    assert backend.cached_executor() is first
+    backend.write_memory(0, 1)
+    assert backend.cached_executor() is not first
+
+
+# ---------------------------------------------------------------- integration
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+def test_service_serves_trace_on_every_architecture(name):
+    """Acceptance: QRAMService drains a functional trace on all five."""
+    capacity = 16
+    data = random_data(capacity, seed=4)
+    service = QRAMService(capacity, num_shards=2, data=data, architecture=name)
+    trace = poisson_trace(
+        capacity, 10, mean_interarrival=12.0, num_tenants=2, num_shards=2, seed=6
+    )
+    report = service.serve(trace)
+    assert report.stats.total_queries == 10
+    assert list(report.stats.per_backend) == [name]
+    backend_stats = report.stats.per_backend[name]
+    assert backend_stats.queries == 10
+    assert backend_stats.shards == 2
+    assert backend_stats.busy_layers > 0
+    for record in report.served:
+        assert record.architecture == name
+        assert record.fidelity == pytest.approx(1.0)
+    for request in trace:
+        for (address, bus), _amp in report.outputs[request.query_id].items():
+            assert bus == data[address]
+
+
+def test_service_mixed_fleet_reports_per_backend_stats():
+    """Acceptance: one heterogeneous fleet, per-backend stats split."""
+    capacity = 16
+    data = random_data(capacity, seed=5)
+    service = QRAMService(
+        capacity, num_shards=2, data=data, architectures=["Fat-Tree", "BB"]
+    )
+    assert service.architectures == ["Fat-Tree", "BB"]
+    assert service.window_sizes == [3, 1]    # log2(8) vs sequential
+    trace = poisson_trace(
+        capacity, 16, mean_interarrival=8.0, num_tenants=2, num_shards=2, seed=7
+    )
+    report = service.serve(trace)
+    stats = report.stats
+    assert sorted(stats.per_backend) == ["BB", "Fat-Tree"]
+    assert sum(b.queries for b in stats.per_backend.values()) == 16
+    assert stats.per_shard[0].architecture == "Fat-Tree"
+    assert stats.per_shard[1].architecture == "BB"
+    for record in report.served:
+        assert record.fidelity == pytest.approx(1.0)
+        assert record.architecture == service.architectures[record.shard]
+    # BB windows are single-query; Fat-Tree windows may batch.
+    assert all(
+        w.batch_size == 1 for w in report.windows if w.architecture == "BB"
+    )
+
+
+def test_service_rejects_mismatched_fleet_configuration():
+    with pytest.raises(ValueError, match="one backend per shard"):
+        QRAMService(16, num_shards=2, architectures=["Fat-Tree"])
+    with pytest.raises(ValueError, match="placement"):
+        QRAMService(16, num_shards=2, placement="round-robin")
+    with pytest.raises(KeyError):
+        QRAMService(16, num_shards=2, architecture="Hyper-Tree")
+
+
+def test_service_shortest_queue_replication():
+    """Replicated fleets spread full-range superpositions over shards."""
+    capacity = 16
+    data = random_data(capacity, seed=8)
+    service = QRAMService(
+        capacity,
+        num_shards=3,
+        data=data,
+        architecture="Fat-Tree",
+        placement="shortest-queue",
+    )
+    # Superpositions are NOT shard-aligned: replication allows any shard.
+    trace = poisson_trace(capacity, 12, mean_interarrival=4.0, num_shards=1, seed=9)
+    report = service.serve(trace)
+    assert report.stats.total_queries == 12
+    assert len({r.shard for r in report.served}) > 1
+    for record in report.served:
+        assert record.fidelity == pytest.approx(1.0)
+    for request in trace:
+        for (address, bus), _amp in report.outputs[request.query_id].items():
+            assert bus == data[address]
+    # Writes are mirrored into every replica.
+    service.write_memory(3, 1 - data[3])
+    for shard in service.shards:
+        assert shard.data[3] == 1 - data[3]
+
+
+def test_service_priority_policy_admits_high_priority_first():
+    requests = [
+        QueryRequest(i, {0: 1.0}, request_time=0.0, priority=(1 if i >= 3 else 0))
+        for i in range(6)
+    ]
+    service = QRAMService(
+        8, num_shards=1, policy=PriorityPolicy(), functional=False, window_size=1
+    )
+    report = service.serve(requests)
+    order = [r.query_id for r in sorted(report.served, key=lambda s: s.start_layer)]
+    assert order == [3, 4, 5, 0, 1, 2]
+
+
+def test_policy_coercion_accepts_legacy_enum_and_names():
+    assert isinstance(as_policy(SchedulingPolicy.FIFO), FIFOPolicy)
+    assert isinstance(as_policy("fifo"), FIFOPolicy)
+    assert as_policy(SchedulingPolicy.LIFO).name == "lifo"
+    assert SchedulingPolicy.RANDOM.to_policy(seed=3).name == "random"
+    existing = PriorityPolicy()
+    assert as_policy(existing) is existing
+    with pytest.raises(KeyError):
+        as_policy("deadline")
+    with pytest.raises(TypeError):
+        as_policy(42)
