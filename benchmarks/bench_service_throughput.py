@@ -16,7 +16,11 @@ Measurements:
   hardware time and wall-clock serving rate;
 * the backend axis: the same trace drained by every registered
   architecture (Fat-Tree, BB, Virtual, D-Fat-Tree, D-BB), comparing
-  makespans and bandwidths across the fleet choices.
+  makespans and bandwidths across the fleet choices;
+* the offered-load saturation axis: the same fleet under light to
+  saturating Poisson load with SLO deadlines, bounded queues and expired-
+  deadline shedding — the discrete-event engine's p95 latency, deadline-
+  miss-rate and reject/shed accounting as the load crosses capacity.
 """
 
 import time
@@ -28,6 +32,7 @@ from repro.bucket_brigade.executor import BBExecutor
 from repro.bucket_brigade.qram import BucketBrigadeQRAM
 from repro.core.executor import FatTreeExecutor
 from repro.core.qram import FatTreeQRAM
+from repro.engine import TraceSource
 from repro.service import QRAMService
 from repro.workloads import poisson_trace, random_data
 
@@ -202,3 +207,57 @@ def test_service_throughput_backend_axis(benchmark):
     for name, stats in results.items():
         assert stats.total_queries == 40, name
         assert name in stats.per_backend
+
+
+def test_service_saturation_axis(benchmark):
+    """Offered load from light to saturating, under SLO-aware serving.
+
+    The same 2-shard fleet drains Poisson traces whose mean interarrival
+    shrinks past the fleet's service rate, with per-request deadlines,
+    bounded queues and expired-deadline shedding.  Under light load
+    nothing is rejected; under saturation the engine sheds / rejects and
+    the deadline-miss-rate climbs — the accounting a serving system is
+    sized by.
+    """
+    capacity = 16
+    num_queries = 48
+    loads = {"light": 120.0, "moderate": 30.0, "saturated": 2.0}
+
+    def sweep():
+        results = {}
+        for label, mean_interarrival in loads.items():
+            trace = poisson_trace(
+                capacity, num_queries, mean_interarrival=mean_interarrival,
+                num_tenants=3, num_shards=2, seed=13, deadline_layers=150.0,
+            )
+            service = QRAMService(capacity, num_shards=2, functional=False)
+            results[label] = service.serve_workload(
+                TraceSource(trace), max_queue_depth=8, shed_expired=True
+            ).stats
+        return results
+
+    results = sweep()
+    benchmark(sweep)
+    rows = {}
+    for label, stats in results.items():
+        rows[label] = {
+            "offered": stats.offered_queries,
+            "served": stats.total_queries,
+            "rejected": stats.rejected_queries,
+            "shed": stats.shed_queries,
+            "p95_latency_layers": round(stats.p95_latency_layers, 1),
+            "deadline_miss_rate": round(stats.deadline_miss_rate, 3),
+            "bandwidth_q_per_s": round(stats.bandwidth_queries_per_sec),
+        }
+    print_rows(
+        "Saturation axis — 2 shards, capacity 16, 48-query Poisson traces",
+        rows,
+    )
+    for stats in results.values():
+        assert stats.offered_queries == num_queries
+    light, saturated = results["light"], results["saturated"]
+    assert light.rejected_queries == 0 and light.shed_queries == 0
+    assert light.deadline_miss_rate == 0.0
+    assert saturated.rejected_queries + saturated.shed_queries > 0
+    assert saturated.deadline_miss_rate > light.deadline_miss_rate
+    assert saturated.p95_latency_layers >= light.p95_latency_layers

@@ -1,0 +1,107 @@
+"""Four serving scenarios on one discrete-event engine.
+
+The same 2-shard Fat-Tree fleet serves:
+
+1. **open loop** — a Poisson trace whose arrivals ignore service latency;
+2. **closed loop** — QPU-style clients (Fig. 7) that issue their next
+   query only after the previous one completes plus a think time, so
+   offered load reacts to latency;
+3. **SLO-aware** — deadline-carrying traffic under EDF admission with a
+   bounded queue and expired-deadline shedding (saturation surfaces as
+   rejects / sheds / deadline misses, not unbounded queues);
+4. **elastic** — a replicated fleet that grows and shrinks replicas from
+   queue-depth watermarks while a burst passes through.
+
+Every scenario is the same engine — a heap of typed events on one virtual
+clock — with a different workload source or serving discipline.
+
+Run with ``python examples/serving_closed_loop.py``.
+"""
+
+from __future__ import annotations
+
+from repro import AutoscalerConfig, QRAMService, QueryRequest, TraceSource
+from repro.workloads import closed_loop_source, poisson_trace, random_data
+
+CAPACITY = 16
+NUM_SHARDS = 2
+
+
+def _print_stats(label: str, stats) -> None:
+    print(f"{label}:")
+    print(f"  served {stats.total_queries}/{stats.offered_queries} offered "
+          f"in {stats.makespan_layers:.0f} layers "
+          f"(rejected {stats.rejected_queries}, shed {stats.shed_queries})")
+    print(f"  latency p50/p95/p99 : {stats.p50_latency_layers:.1f} / "
+          f"{stats.p95_latency_layers:.1f} / {stats.p99_latency_layers:.1f} layers")
+    if stats.deadline_misses or stats.deadline_miss_rate:
+        print(f"  deadline miss rate  : {stats.deadline_miss_rate:.1%} "
+              f"({stats.deadline_misses} misses)")
+    print()
+
+
+def open_loop() -> None:
+    service = QRAMService(CAPACITY, num_shards=NUM_SHARDS,
+                          data=random_data(CAPACITY, seed=1))
+    trace = poisson_trace(CAPACITY, 40, mean_interarrival=8.0,
+                          num_tenants=4, num_shards=NUM_SHARDS, seed=7)
+    report = service.serve(trace)      # thin wrapper over the engine
+    _print_stats("open loop (40-query Poisson trace)", report.stats)
+
+
+def closed_loop() -> None:
+    service = QRAMService(CAPACITY, num_shards=NUM_SHARDS, functional=False)
+    source = closed_loop_source(
+        CAPACITY, num_clients=4, queries_per_client=8,
+        think_layers=60.0, num_shards=NUM_SHARDS, seed=3,
+    )
+    report = service.serve_workload(source)
+    stats = report.stats
+    _print_stats("closed loop (4 clients x 8 queries, think 60 layers)", stats)
+    for tenant, t in stats.per_tenant.items():
+        print(f"  client {tenant}: mean latency {t.mean_latency_layers:6.1f} "
+              f"layers, p95 {t.p95_latency_layers:6.1f}")
+    print()
+
+
+def slo_aware() -> None:
+    service = QRAMService(CAPACITY, num_shards=NUM_SHARDS,
+                          functional=False, policy="edf")
+    trace = poisson_trace(CAPACITY, 60, mean_interarrival=2.0,
+                          num_tenants=4, num_shards=NUM_SHARDS, seed=5,
+                          deadline_layers=180.0)
+    report = service.serve_workload(
+        TraceSource(trace), max_queue_depth=6, shed_expired=True
+    )
+    _print_stats("SLO-aware (saturating trace, EDF, deadline 180 layers, "
+                 "queue bound 6)", report.stats)
+
+
+def elastic() -> None:
+    service = QRAMService(CAPACITY, num_shards=1, functional=False,
+                          placement="shortest-queue")
+    burst = [QueryRequest(i, {i % CAPACITY: 1.0}, request_time=0.0)
+             for i in range(12)]
+    burst.append(QueryRequest(99, {5: 1.0}, request_time=40_000.0))
+    config = AutoscalerConfig(period=100.0, high_watermark=4,
+                              low_watermark=0, min_shards=1, max_shards=3)
+    report = service.serve_workload(TraceSource(burst), autoscaler=config)
+    _print_stats("elastic (12-query burst on a replicated fleet)", report.stats)
+    for event in report.scale_events:
+        print(f"  t={event.time:8.0f}: scale {event.action:<4} -> "
+              f"{event.active_shards} replica(s) "
+              f"(queue depth {event.trigger_depth})")
+    print()
+
+
+def main() -> None:
+    print(f"one engine, four serving scenarios — capacity {CAPACITY}, "
+          f"Fat-Tree shards\n")
+    open_loop()
+    closed_loop()
+    slo_aware()
+    elastic()
+
+
+if __name__ == "__main__":
+    main()

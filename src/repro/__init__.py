@@ -42,8 +42,15 @@ from repro.service import (
     ReplicatedShardMap,
     ServiceReport,
 )
+from repro.engine import (
+    AutoscalerConfig,
+    ClosedLoopClient,
+    ClosedLoopSource,
+    ServiceEngine,
+    TraceSource,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "FatTreeQRAM",
@@ -56,6 +63,11 @@ __all__ = [
     "QueryResult",
     "QRAMService",
     "ServiceReport",
+    "ServiceEngine",
+    "AutoscalerConfig",
+    "TraceSource",
+    "ClosedLoopClient",
+    "ClosedLoopSource",
     "InterleavedShardMap",
     "ReplicatedShardMap",
     "QRAMBackend",

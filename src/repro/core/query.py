@@ -8,6 +8,14 @@ from dataclasses import dataclass, field
 from collections.abc import Mapping
 
 
+#: Sentinel placement a shard map's ``route`` may return: the request can
+#: run on any shard and the serving engine picks one (shortest queue) at
+#: arrival time.  Defined on this dependency-free module so both the
+#: placement maps (:mod:`repro.service.sharding`) and the engine
+#: (:mod:`repro.engine.core`) can name it without importing each other.
+ANY_SHARD = -1
+
+
 class QueryStatus(enum.Enum):
     """Lifecycle of a query in a shared QRAM."""
 
@@ -30,6 +38,10 @@ class QueryRequest:
         initial_bus: initial bus bit ``b`` (the query XORs data into it).
         priority: admission priority (higher is served first under the
             priority policy; ties fall back to arrival order).
+        deadline: absolute raw layer by which the query should finish
+            (``None`` for best-effort requests).  Drives the EDF admission
+            policy and the deadline-miss / shed accounting of the serving
+            engine.
     """
 
     query_id: int
@@ -38,6 +50,7 @@ class QueryRequest:
     qpu: int = 0
     initial_bus: int = 0
     priority: int = 0
+    deadline: float | None = None
 
 
 @dataclass

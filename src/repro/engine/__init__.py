@@ -1,0 +1,48 @@
+"""Discrete-event serving engine: the one place virtual time advances.
+
+* :mod:`repro.engine.events` — typed events (:class:`Arrival`,
+  :class:`WindowStart`, :class:`WindowDrain`, :class:`ClientThink`,
+  :class:`ScaleCheck`) and the virtual-time :class:`EventHeap`.
+* :mod:`repro.engine.workload` — the :class:`WorkloadSource` interface
+  unifying open-loop traces (:class:`TraceSource`) and closed-loop
+  think-time clients (:class:`ClosedLoopSource`).
+* :mod:`repro.engine.core` — :class:`ServiceEngine` (SLO-aware admission,
+  backpressure, elastic fleets) and the :class:`ServiceReport` it returns.
+
+:meth:`repro.service.QRAMService.serve` is a thin wrapper over this engine;
+richer scenarios go through :meth:`~repro.service.QRAMService.serve_workload`.
+"""
+
+from repro.engine.core import AutoscalerConfig, ServiceEngine, ServiceReport
+from repro.engine.events import (
+    Arrival,
+    ClientThink,
+    Event,
+    EventHeap,
+    ScaleCheck,
+    WindowDrain,
+    WindowStart,
+)
+from repro.engine.workload import (
+    ClosedLoopClient,
+    ClosedLoopSource,
+    TraceSource,
+    WorkloadSource,
+)
+
+__all__ = [
+    "ServiceEngine",
+    "ServiceReport",
+    "AutoscalerConfig",
+    "WorkloadSource",
+    "TraceSource",
+    "ClosedLoopClient",
+    "ClosedLoopSource",
+    "EventHeap",
+    "Event",
+    "Arrival",
+    "ClientThink",
+    "WindowStart",
+    "WindowDrain",
+    "ScaleCheck",
+]

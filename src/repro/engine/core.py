@@ -1,0 +1,506 @@
+"""The discrete-event serving engine: one virtual clock for every scenario.
+
+:class:`ServiceEngine` drives a fleet of QRAM backends (any object with the
+:class:`repro.service.QRAMService` surface — shards, shard map, admission
+policy, window sizes) through a heap of typed events
+(:mod:`repro.engine.events`).  Time advances only here: arrivals enqueue,
+idle shards admit pipeline windows, draining windows free their shard, and
+optional :class:`ScaleCheck` ticks grow or shrink a replicated fleet.  New
+serving scenarios are new event types or new
+:class:`~repro.engine.workload.WorkloadSource` implementations — never a
+new hand-rolled loop.
+
+On top of the bare event loop the engine adds the serving disciplines a
+shared memory under live contention needs:
+
+* **closed-loop clients** — a :class:`~repro.engine.workload.ClosedLoopSource`
+  issues each client's next request only after its previous completion
+  (think-time feedback), while :class:`~repro.engine.workload.TraceSource`
+  replays open-loop traces bit-for-bit like the legacy
+  ``QRAMService.serve`` loop;
+* **SLO-aware admission** — per-request deadlines (EDF ordering via
+  ``policy="edf"``), bounded per-shard queues that reject on overflow, and
+  optional shedding of queued requests whose deadline already expired, all
+  surfaced in :class:`repro.metrics.service_stats.ServiceStats`;
+* **elastic fleets** — an :class:`AutoscalerConfig` adds or retires
+  full-memory replicas (built through
+  :func:`repro.baselines.registry.build_backend`) from queue-depth
+  watermarks, rebalancing queued work onto fresh replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.registry import build_backend
+from repro.core.query import ANY_SHARD, QueryRequest
+from repro.engine.events import (
+    Arrival,
+    ClientThink,
+    EventHeap,
+    ScaleCheck,
+    WindowDrain,
+    WindowStart,
+)
+from repro.engine.workload import WorkloadSource
+from repro.metrics.service_stats import (
+    REJECT_DEADLINE_EXPIRED,
+    REJECT_QUEUE_FULL,
+    RejectedQuery,
+    ScaleEvent,
+    ServedQuery,
+    ServiceStats,
+    WindowRecord,
+    summarize_service,
+)
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Queue-depth-watermark autoscaling of a replicated fleet.
+
+    Every ``period`` layers the engine inspects the deepest active queue:
+    at or above ``high_watermark`` it adds one full-memory replica (up to
+    ``max_shards``) and rebalances queued requests onto it; at or below
+    ``low_watermark`` it retires one idle, empty replica (down to
+    ``min_shards``).  Only ``"shortest-queue"`` placement can scale — an
+    interleaved fleet partitions the address space and cannot change shard
+    count without resharding.
+
+    Attributes:
+        period: raw layers between scale checks.
+        high_watermark: per-shard queue depth that triggers scale-up.
+        low_watermark: per-shard queue depth that permits scale-down.
+        min_shards: floor on active replicas.
+        max_shards: ceiling on active replicas.
+        architecture: backend architecture for new replicas (defaults to
+            the fleet's first shard's architecture).
+    """
+
+    period: float
+    high_watermark: int
+    low_watermark: int = 0
+    min_shards: int = 1
+    max_shards: int = 8
+    architecture: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.low_watermark < 0 or self.high_watermark <= self.low_watermark:
+            raise ValueError("need high_watermark > low_watermark >= 0")
+        if not 1 <= self.min_shards <= self.max_shards:
+            raise ValueError("need 1 <= min_shards <= max_shards")
+
+
+@dataclass
+class ServiceReport:
+    """Everything the engine observed while serving one workload.
+
+    Attributes:
+        served: one record per completed query, in completion order.
+        windows: one record per executed pipeline window.
+        stats: aggregated per-tenant / per-shard / per-backend statistics.
+        outputs: per-query output amplitudes over global ``(address, bus)``
+            pairs (empty when serving timing-only).
+        rejected: requests refused by backpressure or shed past deadline.
+        scale_events: elastic-fleet transitions taken by the autoscaler.
+    """
+
+    served: list[ServedQuery]
+    windows: list[WindowRecord]
+    stats: ServiceStats
+    outputs: dict[int, dict[tuple[int, int], complex]] = field(default_factory=dict)
+    rejected: list[RejectedQuery] = field(default_factory=list)
+    scale_events: list[ScaleEvent] = field(default_factory=list)
+    _result_index: dict[int, ServedQuery] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def result_for(self, query_id: int) -> ServedQuery:
+        """The served record of one query id (O(1) after the first call)."""
+        if self._result_index is None:
+            self._result_index = {r.query_id: r for r in self.served}
+        try:
+            return self._result_index[query_id]
+        except KeyError:
+            raise KeyError(query_id) from None
+
+
+class ServiceEngine:
+    """Discrete-event simulation of a QRAM backend fleet serving traffic.
+
+    Args:
+        fleet: the fleet to drive — typically a
+            :class:`repro.service.QRAMService`; any object exposing
+            ``shards``, ``shard_map``, ``policy``, ``window_sizes``,
+            ``functional`` and ``placement`` works.
+        max_queue_depth: bound on every per-shard queue; arrivals that find
+            their queue full are rejected (backpressure).  ``None``
+            disables the bound.
+        shed_expired: when True, queued requests whose deadline has already
+            passed are shed (never executed) at the next window admission
+            on their shard.
+        autoscaler: elastic-fleet configuration; requires
+            ``placement="shortest-queue"``.
+    """
+
+    def __init__(
+        self,
+        fleet,
+        *,
+        max_queue_depth: int | None = None,
+        shed_expired: bool = False,
+        autoscaler: AutoscalerConfig | None = None,
+    ) -> None:
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if autoscaler is not None:
+            placement = getattr(fleet, "placement", None)
+            if placement != "shortest-queue":
+                raise ValueError(
+                    "autoscaling requires shortest-queue placement (replicated "
+                    f"shards); the fleet uses {placement!r}"
+                )
+            if not autoscaler.min_shards <= len(fleet.shards) <= autoscaler.max_shards:
+                raise ValueError(
+                    f"the fleet starts with {len(fleet.shards)} shard(s), "
+                    f"outside the autoscaler's [{autoscaler.min_shards}, "
+                    f"{autoscaler.max_shards}] bounds"
+                )
+        self.fleet = fleet
+        self.max_queue_depth = max_queue_depth
+        self.shed_expired = shed_expired
+        self.autoscaler = autoscaler
+
+    # ------------------------------------------------------------------ run
+    def run(self, source: WorkloadSource, clops: float = 1.0e6) -> ServiceReport:
+        """Serve one workload to completion and report what happened.
+
+        Args:
+            source: the traffic (open-loop trace or closed-loop clients).
+            clops: hardware clock used for the queries-per-second numbers.
+        """
+        fleet = self.fleet
+        self._source = source
+        self._heap = EventHeap()
+        self._backends = list(fleet.shards)
+        self._window_sizes = list(fleet.window_sizes)
+        num_shards = len(self._backends)
+        self._queues: list[list[QueryRequest]] = [[] for _ in range(num_shards)]
+        self._busy_until = [0.0] * num_shards
+        self._window_pending = [False] * num_shards
+        self._active = [True] * num_shards
+        self._max_depth = {shard: 0 for shard in range(num_shards)}
+        self._seen_ids: set[int] = set()
+        self._local_amps: dict[int, dict[int, complex]] = {}
+        self._served: list[ServedQuery] = []
+        self._windows: list[WindowRecord] = []
+        self._outputs: dict[int, dict[tuple[int, int], complex]] = {}
+        self._rejected: list[RejectedQuery] = []
+        self._scale_events: list[ScaleEvent] = []
+
+        source.start(self)
+        if self.autoscaler is not None:
+            self._heap.push(self.autoscaler.period, ScaleCheck())
+
+        while self._heap:
+            now, event = self._heap.pop()
+            if isinstance(event, Arrival):
+                self._on_arrival(now, event.request)
+            elif isinstance(event, ClientThink):
+                request = source.next_request(event.client_id, now)
+                if request is not None:
+                    self._on_arrival(now, request)
+            elif isinstance(event, WindowDrain):
+                self._maybe_start(event.shard, now)
+            elif isinstance(event, ScaleCheck):
+                self._on_scale_check(now)
+            elif isinstance(event, WindowStart):
+                self._on_window_start(now, event.shard)
+
+        if not self._served:
+            offered = len(self._rejected)
+            if offered:
+                raise ValueError(
+                    f"no queries were served: all {offered} offered requests "
+                    "were rejected or shed (loosen max_queue_depth / deadlines)"
+                )
+            raise ValueError("the workload source produced no requests")
+
+        self._served.sort(key=lambda s: (s.finish_layer, s.query_id))
+        stats = summarize_service(
+            self._served,
+            self._windows,
+            self._max_depth,
+            clops=clops,
+            rejected=self._rejected,
+        )
+        return ServiceReport(
+            served=self._served,
+            windows=self._windows,
+            stats=stats,
+            outputs=self._outputs,
+            rejected=self._rejected,
+            scale_events=self._scale_events,
+        )
+
+    # ----------------------------------------------- source-facing scheduling
+    def submit(self, request: QueryRequest) -> None:
+        """Schedule one request's arrival (at ``max(0, request_time)``).
+
+        Validation (amplitudes, duplicate ids) happens when the arrival is
+        processed — the one path every request takes, trace or closed-loop.
+        """
+        self._heap.push(max(0.0, request.request_time), Arrival(request))
+
+    def schedule_think(self, client_id: int, time: float) -> None:
+        """Schedule a closed-loop client's next issue instant."""
+        self._heap.push(max(0.0, time), ClientThink(client_id))
+
+    # ------------------------------------------------------------- handlers
+    def _on_arrival(self, now: float, request: QueryRequest) -> None:
+        if request.query_id in self._seen_ids:
+            raise ValueError(
+                f"duplicate query_id {request.query_id} in trace; "
+                "query ids key the per-request results and must be unique"
+            )
+        self._seen_ids.add(request.query_id)
+        if request.address_amplitudes is None:
+            raise ValueError("service requests require address amplitudes")
+        shard, local = self.fleet.shard_map.route(request.address_amplitudes)
+        if shard == ANY_SHARD:
+            shard = self._shortest_queue(now)
+        queue = self._queues[shard]
+        if self.max_queue_depth is not None and len(queue) >= self.max_queue_depth:
+            self._reject(request, shard, now, REJECT_QUEUE_FULL)
+            return
+        self._local_amps[request.query_id] = local
+        queue.append(request)
+        self._max_depth[shard] = max(self._max_depth[shard], len(queue))
+        self._maybe_start(shard, now)
+
+    def _reject(
+        self, request: QueryRequest, shard: int, now: float, reason: str
+    ) -> None:
+        """Record one refusal and let the source react (closed-loop clients
+        pace on rejections exactly as they pace on completions)."""
+        record = RejectedQuery(
+            query_id=request.query_id,
+            tenant=request.qpu,
+            shard=shard,
+            time=now,
+            reason=reason,
+            deadline=request.deadline,
+        )
+        self._rejected.append(record)
+        self._source.on_rejection(self, record)
+
+    def _maybe_start(self, shard: int, now: float) -> None:
+        """Schedule a window admission on an idle shard with queued work."""
+        if (
+            self._active[shard]
+            and self._queues[shard]
+            and not self._window_pending[shard]
+            and self._busy_until[shard] <= now
+        ):
+            self._window_pending[shard] = True
+            self._heap.push(now, WindowStart(shard))
+
+    def _on_window_start(self, now: float, shard: int) -> None:
+        self._window_pending[shard] = False
+        if not self._active[shard] or self._busy_until[shard] > now:
+            return
+        queue = self._queues[shard]
+        if self.shed_expired and queue:
+            kept: list[QueryRequest] = []
+            for request in queue:
+                if request.deadline is not None and request.deadline < now:
+                    self._reject(request, shard, now, REJECT_DEADLINE_EXPIRED)
+                else:
+                    kept.append(request)
+            queue[:] = kept
+        if not queue:
+            return
+        batch = self.fleet.policy.select(queue, self._window_sizes[shard], now)
+        self._execute_window(shard, batch, now)
+
+    def _execute_window(
+        self, shard: int, batch: list[QueryRequest], admit: float
+    ) -> None:
+        """Run one pipeline window on one backend, at absolute layer ``admit``.
+
+        The backend receives shard-local requests (translated address
+        superpositions) and renumbers them to window slots internally, so
+        its schedule and lowering caches are shared across every window of
+        the run.
+        """
+        backend = self._backends[shard]
+        local_requests = [
+            QueryRequest(
+                query_id=request.query_id,
+                address_amplitudes=self._local_amps[request.query_id],
+                request_time=request.request_time,
+                qpu=request.qpu,
+                initial_bus=request.initial_bus,
+                priority=request.priority,
+            )
+            for request in batch
+        ]
+        result = backend.run_window(local_requests, functional=self.fleet.functional)
+
+        for slot, request in enumerate(batch):
+            if result.outputs[slot] is not None:
+                self._outputs[request.query_id] = self.fleet.shard_map.to_global_outputs(
+                    shard, result.outputs[slot]
+                )
+            record = ServedQuery(
+                query_id=request.query_id,
+                tenant=request.qpu,
+                shard=shard,
+                request_time=request.request_time,
+                admit_layer=admit,
+                start_layer=admit + result.start_offsets[slot],
+                finish_layer=admit + result.finish_offsets[slot],
+                fidelity=result.fidelities[slot],
+                architecture=backend.name,
+                deadline=request.deadline,
+            )
+            self._served.append(record)
+            self._source.on_completion(self, record)
+        self._windows.append(
+            WindowRecord(
+                shard=shard,
+                admit_layer=admit,
+                batch_size=len(batch),
+                interval=result.interval,
+                total_layers=result.total_layers,
+                architecture=backend.name,
+            )
+        )
+        self._busy_until[shard] = admit + result.total_layers
+        self._heap.push(self._busy_until[shard], WindowDrain(shard))
+
+    # ------------------------------------------------------------- placement
+    def _active_shards(self) -> list[int]:
+        return [i for i in range(len(self._backends)) if self._active[i]]
+
+    def _shortest_queue(self, now: float) -> int:
+        """Least-loaded active shard: fewest queued, then earliest free."""
+        return min(
+            self._active_shards(),
+            key=lambda shard: (
+                len(self._queues[shard]),
+                max(self._busy_until[shard], now),
+                shard,
+            ),
+        )
+
+    # ----------------------------------------------------------- autoscaling
+    def _on_scale_check(self, now: float) -> None:
+        config = self.autoscaler
+        active = self._active_shards()
+        depth = max(len(self._queues[shard]) for shard in active)
+        if depth >= config.high_watermark and len(active) < config.max_shards:
+            self._scale_up(now, depth)
+        elif depth <= config.low_watermark and len(active) > config.min_shards:
+            self._scale_down(now, depth)
+        work_remains = (
+            bool(self._heap)
+            or any(self._queues[shard] for shard in self._active_shards())
+            or any(busy > now for busy in self._busy_until)
+        )
+        if work_remains:
+            self._heap.push(now + config.period, ScaleCheck())
+
+    def _scale_up(self, now: float, depth: int) -> None:
+        """Add one full-memory replica and rebalance queued work onto it.
+
+        A previously retired replica (idle, empty, byte-identical memory —
+        writes never happen mid-run) is reactivated in preference to
+        building a new backend, so oscillating load does not pay repeated
+        QRAM construction or grow the fleet lists without bound.
+        """
+        config = self.autoscaler
+        inactive = [
+            shard
+            for shard in range(len(self._backends))
+            if not self._active[shard]
+        ]
+        if inactive:
+            shard = max(inactive)
+            self._active[shard] = True
+        else:
+            architecture = config.architecture or self._backends[0].name
+            backend = build_backend(
+                architecture,
+                self.fleet.shard_map.shard_capacity,
+                list(self._backends[0].data),
+            )
+            requested = getattr(self.fleet, "requested_window_size", None)
+            window_size = (
+                backend.query_parallelism
+                if requested is None
+                else max(1, min(requested, backend.query_parallelism))
+            )
+            shard = len(self._backends)
+            self._backends.append(backend)
+            self._window_sizes.append(window_size)
+            self._queues.append([])
+            self._busy_until.append(0.0)
+            self._window_pending.append(False)
+            self._active.append(True)
+            self._max_depth[shard] = 0
+        self._scale_events.append(
+            ScaleEvent(
+                time=now,
+                action="up",
+                shard=shard,
+                active_shards=len(self._active_shards()),
+                trigger_depth=depth,
+            )
+        )
+        self._rebalance(now)
+
+    def _rebalance(self, now: float) -> None:
+        """Even out queued (unadmitted) requests across active replicas.
+
+        Replicated shards all hold the full memory, so any queued request
+        can move; the newest request of the deepest queue migrates until
+        depths differ by at most one.  Shards that gained work start a
+        window if idle.
+        """
+        active = self._active_shards()
+        while True:
+            deepest = max(active, key=lambda s: (len(self._queues[s]), -s))
+            shallowest = min(active, key=lambda s: (len(self._queues[s]), s))
+            if len(self._queues[deepest]) - len(self._queues[shallowest]) <= 1:
+                break
+            self._queues[shallowest].append(self._queues[deepest].pop())
+            self._max_depth[shallowest] = max(
+                self._max_depth[shallowest], len(self._queues[shallowest])
+            )
+        for shard in active:
+            self._maybe_start(shard, now)
+
+    def _scale_down(self, now: float, depth: int) -> None:
+        """Retire the highest-indexed idle, empty replica."""
+        config = self.autoscaler
+        candidates = [
+            shard
+            for shard in self._active_shards()
+            if not self._queues[shard] and self._busy_until[shard] <= now
+        ]
+        if not candidates or len(self._active_shards()) <= config.min_shards:
+            return
+        shard = max(candidates)
+        self._active[shard] = False
+        self._scale_events.append(
+            ScaleEvent(
+                time=now,
+                action="down",
+                shard=shard,
+                active_shards=len(self._active_shards()),
+                trigger_depth=depth,
+            )
+        )

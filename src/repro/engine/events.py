@@ -1,0 +1,99 @@
+"""Typed events and the virtual-time event heap of the serving engine.
+
+The engine advances one virtual clock (raw circuit layers) over a heap of
+typed events.  Events at the same timestamp are ordered by a per-type
+priority so that one instant unfolds deterministically and exactly like the
+legacy batch-window loop did:
+
+1. :class:`Arrival` / :class:`ClientThink` — every request that arrives at
+   time ``t`` is enqueued before any window admits at ``t`` (a think event
+   *is* an arrival: the client issues its next request the moment its think
+   time elapses);
+2. :class:`WindowDrain` — shards that finish at ``t`` free up before new
+   windows are considered;
+3. :class:`ScaleCheck` — the autoscaler observes the post-drain queue
+   depths;
+4. :class:`WindowStart` — idle shards with queued work admit one pipeline
+   window each.
+
+Ties within a priority level resolve in scheduling order (a monotone
+sequence number), so every run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import ClassVar, Union
+
+from repro.core.query import QueryRequest
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """A request arrives at the service at its ``request_time``."""
+
+    request: QueryRequest
+    PRIORITY: ClassVar[int] = 0
+
+
+@dataclass(frozen=True)
+class ClientThink:
+    """A closed-loop client finishes thinking and issues its next request."""
+
+    client_id: int
+    PRIORITY: ClassVar[int] = 0
+
+
+@dataclass(frozen=True)
+class WindowDrain:
+    """A shard's in-flight pipeline window fully drains; the shard is free."""
+
+    shard: int
+    PRIORITY: ClassVar[int] = 1
+
+
+@dataclass(frozen=True)
+class ScaleCheck:
+    """Periodic autoscaler tick: compare queue depths against watermarks."""
+
+    PRIORITY: ClassVar[int] = 2
+
+
+@dataclass(frozen=True)
+class WindowStart:
+    """An idle shard with queued work admits one pipeline window."""
+
+    shard: int
+    PRIORITY: ClassVar[int] = 3
+
+
+Event = Union[Arrival, ClientThink, WindowDrain, ScaleCheck, WindowStart]
+
+
+class EventHeap:
+    """A min-heap of events keyed on ``(time, type priority, sequence)``.
+
+    The sequence number both breaks ties deterministically and keeps the
+    heap from ever comparing event payloads.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+
+    def push(self, time: float, event: Event) -> None:
+        """Schedule an event at an absolute virtual time (raw layers)."""
+        heapq.heappush(self._heap, (time, event.PRIORITY, self._sequence, event))
+        self._sequence += 1
+
+    def pop(self) -> tuple[float, Event]:
+        """Remove and return the next ``(time, event)`` pair."""
+        time, _, _, event = heapq.heappop(self._heap)
+        return time, event
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

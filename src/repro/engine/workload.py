@@ -1,0 +1,192 @@
+"""Workload sources: one interface for open-loop traces and closed-loop clients.
+
+The engine pulls its traffic from a :class:`WorkloadSource`.  Two families
+are provided:
+
+* :class:`TraceSource` — open loop: a pre-materialized list of
+  :class:`repro.core.query.QueryRequest` whose arrival times never react to
+  service latency (the Poisson / bursty traces of
+  :mod:`repro.workloads.generators`).
+* :class:`ClosedLoopSource` — closed loop: ``N`` clients that alternate one
+  outstanding query with ``think_layers`` of local processing, the QPU
+  query/process loop of Fig. 7 (the same behaviour
+  :func:`repro.scheduling.events.periodic_algorithm_arrivals` approximates
+  open-loop with a nominal query latency).  Each client's next arrival
+  depends on its previous completion, so throughput and latency feed back
+  into the offered load.
+
+Sources interact with the engine through three hooks: ``start`` schedules
+the initial events, ``on_completion`` observes every served query, and
+``next_request`` materializes a client's next request when its think time
+elapses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.query import QueryRequest
+
+#: Builds the address superposition of one closed-loop request:
+#: ``(client, per-client query index) -> {address: amplitude}``.
+AddressFactory = Callable[["ClosedLoopClient", int], Mapping[int, complex]]
+
+
+class WorkloadSource:
+    """What the serving engine requires of a traffic source."""
+
+    def start(self, engine) -> None:
+        """Schedule the source's initial events (arrivals or think ticks)."""
+        raise NotImplementedError
+
+    def on_completion(self, engine, record) -> None:
+        """Observe one served query (closed-loop sources react here)."""
+
+    def on_rejection(self, engine, record) -> None:
+        """Observe one rejected/shed request (closed-loop sources react here).
+
+        Without this hook a closed-loop client whose request was refused
+        would never learn its query finished (badly) and would stall
+        forever; sources that pace on completions must also pace on
+        rejections.
+        """
+
+    def next_request(self, client_id: int, now: float) -> QueryRequest | None:
+        """The next request of one client, issued at ``now`` (or ``None``)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no closed-loop clients"
+        )
+
+
+class TraceSource(WorkloadSource):
+    """Open-loop traffic: a fixed trace of requests with arrival times.
+
+    Requests are scheduled in ``(request_time, query_id)`` order — the
+    admission order of the legacy ``QRAMService.serve`` loop — so a trace
+    drained through the engine reproduces the historical reports exactly.
+    """
+
+    def __init__(self, requests: Sequence[QueryRequest]) -> None:
+        if not requests:
+            raise ValueError("at least one request is required")
+        self.requests = sorted(
+            requests, key=lambda r: (r.request_time, r.query_id)
+        )
+
+    def start(self, engine) -> None:
+        for request in self.requests:
+            engine.submit(request)
+
+
+@dataclass
+class ClosedLoopClient:
+    """One closed-loop client: query, wait for the result, think, repeat.
+
+    Attributes:
+        client_id: identifier; doubles as the tenant (``qpu``) of every
+            request the client issues.
+        queries: total queries the client issues before retiring.
+        think_layers: local processing time between a query's completion
+            and the next request (``d`` in the paper's Fig. 7 loops).
+        start_time: when the client issues its first request.
+        deadline_layers: per-request relative deadline (absolute deadline =
+            issue time + ``deadline_layers``); ``None`` for best-effort.
+    """
+
+    client_id: int
+    queries: int
+    think_layers: float
+    start_time: float = 0.0
+    deadline_layers: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.queries < 0:
+            raise ValueError("queries must be >= 0")
+        if self.think_layers < 0:
+            raise ValueError("think_layers must be >= 0")
+
+
+class ClosedLoopSource(WorkloadSource):
+    """Closed-loop traffic from a fleet of think-time clients.
+
+    Each client holds at most one query in flight: its next request is
+    issued ``think_layers`` after the previous one completes.  Query ids
+    are assigned from one global counter in issue order, which is
+    deterministic for a fixed engine seed and fleet.
+
+    Args:
+        clients: the client fleet (client ids must be unique).
+        address_factory: builds each request's address superposition from
+            ``(client, per-client query index)``.  Interleaved services
+            need shard-aligned superpositions; see
+            :func:`repro.workloads.generators.closed_loop_source` for a
+            ready-made seeded factory.
+    """
+
+    def __init__(
+        self,
+        clients: Sequence[ClosedLoopClient],
+        address_factory: AddressFactory,
+    ) -> None:
+        if not clients:
+            raise ValueError("at least one client is required")
+        self.clients = {client.client_id: client for client in clients}
+        if len(self.clients) != len(clients):
+            raise ValueError("client ids must be unique")
+        self.address_factory = address_factory
+        self._issued = {client.client_id: 0 for client in clients}
+        self._next_query_id = 0
+
+    @property
+    def total_queries(self) -> int:
+        """Queries the fleet issues over a full run."""
+        return sum(client.queries for client in self.clients.values())
+
+    def start(self, engine) -> None:
+        self._issued = {client_id: 0 for client_id in self.clients}
+        self._next_query_id = 0
+        for client_id in sorted(self.clients):
+            client = self.clients[client_id]
+            if client.queries > 0:
+                engine.schedule_think(client_id, client.start_time)
+
+    def next_request(self, client_id: int, now: float) -> QueryRequest | None:
+        client = self.clients[client_id]
+        index = self._issued[client_id]
+        if index >= client.queries:
+            return None
+        self._issued[client_id] = index + 1
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        deadline = (
+            None
+            if client.deadline_layers is None
+            else now + client.deadline_layers
+        )
+        return QueryRequest(
+            query_id=query_id,
+            address_amplitudes=dict(self.address_factory(client, index)),
+            request_time=now,
+            qpu=client_id,
+            deadline=deadline,
+        )
+
+    def on_completion(self, engine, record) -> None:
+        self._think_after(engine, record.tenant, record.finish_layer)
+
+    def on_rejection(self, engine, record) -> None:
+        # A rejected or shed request still consumed one of the client's
+        # queries (it is accounted in the report's rejected records); the
+        # client learns of the failure at rejection time and moves on to
+        # its next query after thinking.
+        self._think_after(engine, record.tenant, record.time)
+
+    def _think_after(self, engine, client_id: int, finished_at: float) -> None:
+        client = self.clients.get(client_id)
+        if client is None:
+            return
+        if self._issued[client.client_id] < client.queries:
+            engine.schedule_think(
+                client.client_id, finished_at + client.think_layers
+            )

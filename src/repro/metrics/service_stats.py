@@ -18,6 +18,7 @@ at full weight.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -37,6 +38,8 @@ class ServedQuery:
         fidelity: |<ideal|actual>|^2 of the output register (None for
             timing-only serving).
         architecture: architecture name of the serving backend.
+        deadline: absolute raw layer the request had to finish by
+            (``None`` for best-effort requests).
     """
 
     query_id: int
@@ -48,6 +51,7 @@ class ServedQuery:
     finish_layer: float
     fidelity: float | None = None
     architecture: str = ""
+    deadline: float | None = None
 
     @property
     def latency_layers(self) -> float:
@@ -58,6 +62,58 @@ class ServedQuery:
     def queue_delay_layers(self) -> float:
         """Raw layers the request waited before its window was admitted."""
         return self.admit_layer - self.request_time
+
+    @property
+    def missed_deadline(self) -> bool:
+        """Whether the query finished after its deadline (False without one)."""
+        return self.deadline is not None and self.finish_layer > self.deadline
+
+
+#: Reason codes carried by :class:`RejectedQuery` records.
+REJECT_QUEUE_FULL = "queue-full"
+REJECT_DEADLINE_EXPIRED = "deadline-expired"
+
+
+@dataclass(frozen=True)
+class RejectedQuery:
+    """One request the serving engine refused to serve.
+
+    Attributes:
+        query_id: identifier of the rejected request.
+        tenant: requesting tenant (QPU / algorithm id).
+        shard: shard whose queue the request was headed for.
+        time: raw layer at which the rejection happened.
+        reason: :data:`REJECT_QUEUE_FULL` (backpressure: the bounded queue
+            was full at arrival) or :data:`REJECT_DEADLINE_EXPIRED` (the
+            request was shed from the queue after its deadline passed).
+        deadline: the request's deadline, if it carried one.
+    """
+
+    query_id: int
+    tenant: int
+    shard: int
+    time: float
+    reason: str
+    deadline: float | None = None
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One elastic-fleet transition taken by the autoscaler.
+
+    Attributes:
+        time: raw layer of the scale check that triggered the transition.
+        action: ``"up"`` (replica added) or ``"down"`` (replica retired).
+        shard: index of the shard added or retired.
+        active_shards: replicas active *after* the transition.
+        trigger_depth: deepest active queue observed at the check.
+    """
+
+    time: float
+    action: str
+    shard: int
+    active_shards: int
+    trigger_depth: int
 
 
 @dataclass(frozen=True)
@@ -84,7 +140,13 @@ class WindowRecord:
 
 @dataclass(frozen=True)
 class TenantStats:
-    """Serving quality observed by one tenant."""
+    """Serving quality observed by one tenant.
+
+    ``deadline_miss_rate`` is computed over the tenant's SLO-carrying
+    demand: served queries that had a deadline plus requests shed for an
+    expired deadline (queue-full rejections are reported separately and do
+    not count as misses).
+    """
 
     tenant: int
     queries: int
@@ -92,6 +154,9 @@ class TenantStats:
     max_latency_layers: float
     mean_queue_delay_layers: float
     throughput_queries_per_sec: float
+    p95_latency_layers: float = 0.0
+    deadline_misses: int = 0
+    deadline_miss_rate: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -143,6 +208,19 @@ class ServiceStats:
         per_shard: per-shard summaries, keyed by shard index.
         per_backend: per-architecture summaries, keyed by architecture
             name (one entry per distinct backend label).
+        p50_latency_layers / p95_latency_layers / p99_latency_layers:
+            latency percentiles over all served queries (linear
+            interpolation between order statistics).
+        offered_queries: total requests offered to the service (served plus
+            rejected plus shed).
+        rejected_queries: requests refused at arrival (bounded queue full).
+        shed_queries: requests dropped from a queue after their deadline
+            expired.
+        deadline_misses: served queries that finished past their deadline,
+            plus shed requests (a shed request is a guaranteed miss).
+        deadline_miss_rate: ``deadline_misses`` over the SLO-carrying
+            demand (served-with-deadline + shed); 0.0 when no request
+            carried a deadline.
     """
 
     total_queries: int
@@ -153,6 +231,14 @@ class ServiceStats:
     per_tenant: dict[int, TenantStats] = field(default_factory=dict)
     per_shard: dict[int, ShardStats] = field(default_factory=dict)
     per_backend: dict[str, BackendStats] = field(default_factory=dict)
+    p50_latency_layers: float = 0.0
+    p95_latency_layers: float = 0.0
+    p99_latency_layers: float = 0.0
+    offered_queries: int = 0
+    rejected_queries: int = 0
+    shed_queries: int = 0
+    deadline_misses: int = 0
+    deadline_miss_rate: float = 0.0
 
 
 def summarize_service(
@@ -160,6 +246,7 @@ def summarize_service(
     windows: Sequence[WindowRecord],
     max_queue_depth: dict[int, int] | None = None,
     clops: float = 1.0e6,
+    rejected: Sequence[RejectedQuery] = (),
 ) -> ServiceStats:
     """Aggregate served-query and window records into a :class:`ServiceStats`.
 
@@ -169,6 +256,8 @@ def summarize_service(
         max_queue_depth: deepest per-shard queue observed by the serving
             loop (defaults to 0 for every shard).
         clops: hardware clock in full circuit layers per second.
+        rejected: requests the engine refused (backpressure or expired
+            deadlines), folded into the offered / shed / miss accounting.
     """
     if not served:
         raise ValueError("at least one served query is required")
@@ -184,17 +273,30 @@ def summarize_service(
         by_shard.setdefault(record.shard, []).append(record)
         by_backend.setdefault(record.architecture, []).append(record)
 
-    per_tenant = {
-        tenant: TenantStats(
+    shed = [r for r in rejected if r.reason == REJECT_DEADLINE_EXPIRED]
+    shed_by_tenant: dict[int, int] = {}
+    for record in shed:
+        shed_by_tenant[record.tenant] = shed_by_tenant.get(record.tenant, 0) + 1
+
+    per_tenant = {}
+    # Include tenants whose entire demand was shed: they served nothing but
+    # their misses must not vanish from the per-tenant view.
+    for tenant in sorted(set(by_tenant) | set(shed_by_tenant)):
+        records = by_tenant.get(tenant, [])
+        misses, miss_rate = _deadline_misses(records, shed_by_tenant.get(tenant, 0))
+        per_tenant[tenant] = TenantStats(
             tenant=tenant,
             queries=len(records),
             mean_latency_layers=_mean([r.latency_layers for r in records]),
-            max_latency_layers=max(r.latency_layers for r in records),
+            max_latency_layers=max(
+                (r.latency_layers for r in records), default=0.0
+            ),
             mean_queue_delay_layers=_mean([r.queue_delay_layers for r in records]),
             throughput_queries_per_sec=len(records) / seconds,
+            p95_latency_layers=_percentile([r.latency_layers for r in records], 95),
+            deadline_misses=misses,
+            deadline_miss_rate=miss_rate,
         )
-        for tenant, records in sorted(by_tenant.items())
-    }
 
     windows_by_shard: dict[int, list[WindowRecord]] = {}
     windows_by_backend: dict[str, list[WindowRecord]] = {}
@@ -231,17 +333,54 @@ def summarize_service(
             throughput_queries_per_sec=len(records) / seconds,
         )
 
+    latencies = [s.latency_layers for s in served]
+    misses, miss_rate = _deadline_misses(served, len(shed))
     return ServiceStats(
         total_queries=len(served),
         makespan_layers=makespan,
-        mean_latency_layers=_mean([s.latency_layers for s in served]),
+        mean_latency_layers=_mean(latencies),
         mean_queue_delay_layers=_mean([s.queue_delay_layers for s in served]),
         bandwidth_queries_per_sec=len(served) / seconds,
         per_tenant=per_tenant,
         per_shard=per_shard,
         per_backend=per_backend,
+        p50_latency_layers=_percentile(latencies, 50),
+        p95_latency_layers=_percentile(latencies, 95),
+        p99_latency_layers=_percentile(latencies, 99),
+        offered_queries=len(served) + len(rejected),
+        rejected_queries=len(rejected) - len(shed),
+        shed_queries=len(shed),
+        deadline_misses=misses,
+        deadline_miss_rate=miss_rate,
     )
 
 
 def _mean(values: Sequence[float]) -> float:
     return sum(values) / len(values) if values else 0.0
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile with linear interpolation (0 when empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    return ordered[low] * (high - rank) + ordered[high] * (rank - low)
+
+
+def _deadline_misses(
+    served: Sequence[ServedQuery], shed_count: int
+) -> tuple[int, float]:
+    """Deadline misses and miss rate over the SLO-carrying demand.
+
+    A shed request (deadline expired while queued) never finished and is
+    counted as a miss alongside served queries that finished late.
+    """
+    with_deadline = [s for s in served if s.deadline is not None]
+    misses = sum(1 for s in with_deadline if s.missed_deadline) + shed_count
+    demand = len(with_deadline) + shed_count
+    return misses, (misses / demand if demand else 0.0)

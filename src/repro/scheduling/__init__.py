@@ -27,6 +27,7 @@ from repro.scheduling.fifo import (
 )
 from repro.scheduling.policy import (
     AdmissionPolicy,
+    EDFPolicy,
     FIFOPolicy,
     LIFOPolicy,
     PriorityPolicy,
@@ -52,6 +53,7 @@ __all__ = [
     "LIFOPolicy",
     "RandomPolicy",
     "PriorityPolicy",
+    "EDFPolicy",
     "as_policy",
     "schedule_queries",
     "total_latency",

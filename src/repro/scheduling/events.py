@@ -1,10 +1,16 @@
-"""Query arrival streams for shared-QRAM scheduling experiments."""
+"""Query arrival streams for shared-QRAM scheduling experiments.
+
+Arrival *times* are drawn by the shared cores in
+:mod:`repro.workloads.arrivals` — the same RNG code path that produces the
+serving layer's traces — so scheduling streams and serving traces built
+from the same parameters and seed agree exactly.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+from repro.workloads.arrivals import burst_times, exponential_times, periodic_times
 
 
 @dataclass(frozen=True, order=True)
@@ -35,7 +41,9 @@ def periodic_algorithm_arrivals(
     layers), processes for ``processing_layers`` layers, and repeats.  The
     *requests* generated here assume no queueing (they are the earliest times
     each query could be issued); the contention simulator recomputes actual
-    issue times when the QRAM is busy.
+    issue times when the QRAM is busy — and the discrete-event engine's
+    :class:`repro.engine.ClosedLoopSource` models the same loop with real
+    completion feedback instead of a nominal latency.
 
     Args:
         num_algorithms: number of concurrent algorithms (QPUs).
@@ -44,14 +52,16 @@ def periodic_algorithm_arrivals(
         query_latency: nominal query service time used for spacing requests.
         stagger: offset between the start times of successive algorithms.
     """
-    arrivals: list[QueryArrival] = []
-    query_id = 0
-    for qpu in range(num_algorithms):
-        start = qpu * stagger
-        for round_index in range(queries_per_algorithm):
-            request_time = start + round_index * (query_latency + processing_layers)
-            arrivals.append(QueryArrival(request_time, qpu, query_id))
-            query_id += 1
+    pairs = periodic_times(
+        num_algorithms,
+        queries_per_algorithm,
+        query_latency + processing_layers,
+        stagger,
+    )
+    arrivals = [
+        QueryArrival(request_time, qpu, query_id)
+        for query_id, (request_time, qpu) in enumerate(pairs)
+    ]
     arrivals.sort()
     return arrivals
 
@@ -63,11 +73,9 @@ def random_arrivals(
     num_qpus: int = 1,
 ) -> list[QueryArrival]:
     """Online workload: exponential interarrival times (Sec. 5.2)."""
-    rng = np.random.default_rng(seed)
-    gaps = rng.exponential(mean_interarrival, size=num_queries)
-    times = np.cumsum(gaps)
+    times = exponential_times(num_queries, mean_interarrival, seed)
     return [
-        QueryArrival(float(t), int(i % num_qpus), int(i)) for i, t in enumerate(times)
+        QueryArrival(t, int(i % num_qpus), int(i)) for i, t in enumerate(times)
     ]
 
 
@@ -79,11 +87,8 @@ def burst_arrivals(
 ) -> list[QueryArrival]:
     """Bursty workload: ``burst_size`` simultaneous requests every
     ``burst_spacing`` layers."""
-    arrivals = []
-    query_id = 0
-    for burst in range(num_bursts):
-        t = burst * burst_spacing
-        for i in range(burst_size):
-            arrivals.append(QueryArrival(t, i % num_qpus, query_id))
-            query_id += 1
-    return arrivals
+    times = burst_times(num_bursts, burst_size, burst_spacing)
+    return [
+        QueryArrival(t, (i % burst_size) % num_qpus, i)
+        for i, t in enumerate(times)
+    ]

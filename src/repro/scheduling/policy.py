@@ -14,6 +14,9 @@ Policies:
 * :class:`RandomPolicy` — uniformly random admission (seeded).
 * :class:`PriorityPolicy` — highest :attr:`QueryRequest.priority` first,
   FIFO within a priority level.
+* :class:`EDFPolicy` — earliest :attr:`QueryRequest.deadline` first
+  (best-effort requests last), the admission order for SLO-bounded
+  serving through the discrete-event engine.
 
 Shard *placement* (which backend a request runs on) is a separate
 decision: address-interleaved services derive it from the address, while
@@ -23,6 +26,7 @@ replicated fleets use shortest-queue placement — see
 
 from __future__ import annotations
 
+import math
 import random
 
 from repro.core.query import QueryRequest
@@ -111,11 +115,36 @@ class PriorityPolicy(AdmissionPolicy):
         return batch
 
 
+class EDFPolicy(AdmissionPolicy):
+    """Admit earliest deadline first; best-effort requests (no deadline)
+    are served after every deadline-carrying one, FIFO among themselves."""
+
+    name = "edf"
+
+    def select(
+        self, queue: list[QueryRequest], count: int, now: float
+    ) -> list[QueryRequest]:
+        order = sorted(
+            range(len(queue)),
+            key=lambda i: (
+                queue[i].deadline if queue[i].deadline is not None else math.inf,
+                queue[i].request_time,
+                queue[i].query_id,
+            ),
+        )
+        picked = order[: min(count, len(queue))]
+        batch = [queue[i] for i in picked]
+        for i in sorted(picked, reverse=True):
+            del queue[i]
+        return batch
+
+
 _BY_NAME: dict[str, type[AdmissionPolicy]] = {
     "fifo": FIFOPolicy,
     "lifo": LIFOPolicy,
     "random": RandomPolicy,
     "priority": PriorityPolicy,
+    "edf": EDFPolicy,
 }
 
 
@@ -127,7 +156,7 @@ def as_policy(
     Args:
         policy: a policy object (returned as-is), a deprecated
             :class:`SchedulingPolicy` enum member, or a name
-            ("fifo" / "lifo" / "random" / "priority").
+            ("fifo" / "lifo" / "random" / "priority" / "edf").
         seed: RNG seed used when a :class:`RandomPolicy` must be built.
 
     Raises:

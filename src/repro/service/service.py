@@ -3,9 +3,11 @@
 A :class:`QRAMService` owns a fleet of execution backends — one per shard,
 each an arbitrary registered architecture (Fat-Tree, BB, Virtual,
 D-Fat-Tree, D-BB) built through
-:func:`repro.baselines.registry.build_backend` — and drives an event loop
-that batches queued :class:`repro.core.query.QueryRequest` traces into
-per-backend pipeline windows.
+:func:`repro.baselines.registry.build_backend` — and serves traffic through
+the discrete-event engine in :mod:`repro.engine`: every run is a heap of
+typed events on one virtual clock, whether the workload is an open-loop
+trace (:meth:`QRAMService.serve`) or closed-loop clients, SLO-bounded
+queues and elastic fleets (:meth:`QRAMService.serve_workload`).
 
 Placement is pluggable: address-interleaved sharding
 (:class:`repro.service.sharding.InterleavedShardMap`; a query's address
@@ -13,7 +15,8 @@ superposition pins it to one shard) or full replication with
 shortest-queue placement (:class:`~repro.service.sharding.ReplicatedShardMap`).
 Admission order within a queue is an
 :class:`repro.scheduling.policy.AdmissionPolicy` (FIFO — provably
-latency-optimal, Sec. A.2 — LIFO, random, or priority); the deprecated
+latency-optimal, Sec. A.2 — LIFO, random, priority, or EDF for
+deadline-carrying traffic); the deprecated
 :class:`repro.scheduling.fifo.SchedulingPolicy` enum is still accepted.
 
 Each gate-level backend reuses one cached executor, so schedules, lowered
@@ -30,50 +33,21 @@ per-shard / per-backend summaries come from
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass, field
 
 from repro.baselines.registry import build_backend
 from repro.core.query import QueryRequest
-from repro.metrics.service_stats import (
-    ServedQuery,
-    ServiceStats,
-    WindowRecord,
-    summarize_service,
-)
+from repro.engine.core import AutoscalerConfig, ServiceEngine, ServiceReport
+from repro.engine.workload import TraceSource, WorkloadSource
 from repro.scheduling.policy import AdmissionPolicy, as_policy
 from repro.service.sharding import (
-    ANY_SHARD,
     InterleavedShardMap,
     ReplicatedShardMap,
 )
 
+__all__ = ["PLACEMENTS", "QRAMService", "ServiceReport"]
+
 #: Valid placement modes for the service fleet.
 PLACEMENTS = ("interleaved", "shortest-queue")
-
-
-@dataclass
-class ServiceReport:
-    """Everything the serving loop observed while draining one trace.
-
-    Attributes:
-        served: one record per completed query, in completion order.
-        windows: one record per executed pipeline window.
-        stats: aggregated per-tenant / per-shard / per-backend statistics.
-        outputs: per-query output amplitudes over global ``(address, bus)``
-            pairs (empty when serving timing-only).
-    """
-
-    served: list[ServedQuery]
-    windows: list[WindowRecord]
-    stats: ServiceStats
-    outputs: dict[int, dict[tuple[int, int], complex]] = field(default_factory=dict)
-
-    def result_for(self, query_id: int) -> ServedQuery:
-        """The served record of one query id."""
-        for record in self.served:
-            if record.query_id == query_id:
-                return record
-        raise KeyError(query_id)
 
 
 class QRAMService:
@@ -85,7 +59,7 @@ class QRAMService:
         data: global classical memory contents (defaults to zeros).
         policy: admission order among queued requests per shard — an
             :class:`AdmissionPolicy`, a policy name ("fifo" / "lifo" /
-            "random" / "priority"), or a deprecated
+            "random" / "priority" / "edf"), or a deprecated
             :class:`repro.scheduling.fifo.SchedulingPolicy` member.
         window_size: maximum queries batched into one pipeline window.
             Capped per shard at the backend's query parallelism: the
@@ -153,6 +127,7 @@ class QRAMService:
         self.policy = as_policy(policy, seed=seed)
         if window_size is not None and window_size < 1:
             raise ValueError("window_size must be >= 1")
+        self.requested_window_size = window_size
         self.window_sizes = [
             backend.query_parallelism
             if window_size is None
@@ -190,13 +165,13 @@ class QRAMService:
     def serve(
         self, requests: Sequence[QueryRequest], clops: float = 1.0e6
     ) -> ServiceReport:
-        """Drain a trace of query requests and report serving statistics.
+        """Drain an open-loop trace of query requests (compatibility surface).
 
-        The event loop advances a global raw-layer clock over request
-        arrivals and shard-free events.  Whenever a shard is idle and has
-        queued requests, up to its window size of them (chosen by the
-        admission policy) are batched into one pipeline window; the shard
-        is busy until the window fully drains.
+        A thin wrapper over the discrete-event engine: the trace becomes a
+        :class:`repro.engine.TraceSource` and the engine advances one
+        virtual clock over arrival / window / drain events — reproducing
+        the historical batch-window loop exactly (same admission times,
+        same reports).
 
         Args:
             requests: query requests; each must carry an address
@@ -204,128 +179,35 @@ class QRAMService:
                 and an arrival ``request_time`` in raw layers.
             clops: hardware clock used for the queries-per-second numbers.
         """
-        if not requests:
-            raise ValueError("at least one request is required")
-        pending = sorted(requests, key=lambda r: (r.request_time, r.query_id))
-        routed: dict[int, tuple[int, dict[int, complex]]] = {}
-        for request in pending:
-            if request.address_amplitudes is None:
-                raise ValueError("service requests require address amplitudes")
-            if request.query_id in routed:
-                raise ValueError(
-                    f"duplicate query_id {request.query_id} in trace; "
-                    "query ids key the per-request results and must be unique"
-                )
-            routed[request.query_id] = self.shard_map.route(request.address_amplitudes)
+        return ServiceEngine(self).run(TraceSource(requests), clops=clops)
 
-        queues: list[list[QueryRequest]] = [[] for _ in range(self.num_shards)]
-        free_at = [0.0] * self.num_shards
-        max_depth = {shard: 0 for shard in range(self.num_shards)}
-        served: list[ServedQuery] = []
-        windows: list[WindowRecord] = []
-        outputs: dict[int, dict[tuple[int, int], complex]] = {}
-        index = 0
-
-        while index < len(pending) or any(queues):
-            candidates = []
-            if index < len(pending):
-                candidates.append(pending[index].request_time)
-            for shard, queue in enumerate(queues):
-                if queue:
-                    candidates.append(free_at[shard])
-            now = max(0.0, min(candidates))
-
-            while index < len(pending) and pending[index].request_time <= now:
-                request = pending[index]
-                shard = routed[request.query_id][0]
-                if shard == ANY_SHARD:
-                    shard = self._shortest_queue(queues, free_at, now)
-                queues[shard].append(request)
-                max_depth[shard] = max(max_depth[shard], len(queues[shard]))
-                index += 1
-
-            for shard, queue in enumerate(queues):
-                if queue and free_at[shard] <= now:
-                    batch = self.policy.select(queue, self.window_sizes[shard], now)
-                    window, records = self._execute_window(
-                        shard, batch, admit=now, routed=routed, outputs=outputs
-                    )
-                    windows.append(window)
-                    served.extend(records)
-                    free_at[shard] = now + window.total_layers
-
-        served.sort(key=lambda s: (s.finish_layer, s.query_id))
-        stats = summarize_service(served, windows, max_depth, clops=clops)
-        return ServiceReport(
-            served=served, windows=windows, stats=stats, outputs=outputs
-        )
-
-    @staticmethod
-    def _shortest_queue(
-        queues: Sequence[Sequence[QueryRequest]],
-        free_at: Sequence[float],
-        now: float,
-    ) -> int:
-        """Least-loaded shard: fewest queued requests, then earliest free."""
-        return min(
-            range(len(queues)),
-            key=lambda shard: (len(queues[shard]), max(free_at[shard], now), shard),
-        )
-
-    def _execute_window(
+    def serve_workload(
         self,
-        shard: int,
-        batch: list[QueryRequest],
-        admit: float,
-        routed: dict[int, tuple[int, dict[int, complex]]],
-        outputs: dict[int, dict[tuple[int, int], complex]],
-    ) -> tuple[WindowRecord, list[ServedQuery]]:
-        """Run one pipeline window on one backend, at absolute layer ``admit``.
+        source: WorkloadSource,
+        *,
+        clops: float = 1.0e6,
+        max_queue_depth: int | None = None,
+        shed_expired: bool = False,
+        autoscaler: AutoscalerConfig | None = None,
+    ) -> ServiceReport:
+        """Serve any workload source with the full engine surface.
 
-        The backend receives shard-local requests (translated address
-        superpositions) and renumbers them to window slots internally, so
-        its schedule and lowering caches are shared across every window of
-        the trace.
+        Args:
+            source: open-loop trace (:class:`repro.engine.TraceSource`) or
+                closed-loop clients (:class:`repro.engine.ClosedLoopSource`).
+            clops: hardware clock used for the queries-per-second numbers.
+            max_queue_depth: bounded per-shard queues — arrivals that find
+                their queue full are rejected and accounted in
+                ``stats.rejected_queries``.
+            shed_expired: shed queued requests whose deadline has passed
+                (accounted in ``stats.shed_queries``).
+            autoscaler: queue-depth-watermark elastic scaling (requires
+                ``placement="shortest-queue"``).
         """
-        backend = self.shards[shard]
-        local_requests = [
-            QueryRequest(
-                query_id=request.query_id,
-                address_amplitudes=routed[request.query_id][1],
-                request_time=request.request_time,
-                qpu=request.qpu,
-                initial_bus=request.initial_bus,
-                priority=request.priority,
-            )
-            for request in batch
-        ]
-        result = backend.run_window(local_requests, functional=self.functional)
-
-        records: list[ServedQuery] = []
-        for slot, request in enumerate(batch):
-            if result.outputs[slot] is not None:
-                outputs[request.query_id] = self.shard_map.to_global_outputs(
-                    shard, result.outputs[slot]
-                )
-            records.append(
-                ServedQuery(
-                    query_id=request.query_id,
-                    tenant=request.qpu,
-                    shard=shard,
-                    request_time=request.request_time,
-                    admit_layer=admit,
-                    start_layer=admit + result.start_offsets[slot],
-                    finish_layer=admit + result.finish_offsets[slot],
-                    fidelity=result.fidelities[slot],
-                    architecture=backend.name,
-                )
-            )
-        window = WindowRecord(
-            shard=shard,
-            admit_layer=admit,
-            batch_size=len(batch),
-            interval=result.interval,
-            total_layers=result.total_layers,
-            architecture=backend.name,
+        engine = ServiceEngine(
+            self,
+            max_queue_depth=max_queue_depth,
+            shed_expired=shed_expired,
+            autoscaler=autoscaler,
         )
-        return window, records
+        return engine.run(source, clops=clops)

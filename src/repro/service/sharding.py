@@ -27,9 +27,16 @@ from collections.abc import Mapping, Sequence
 
 from repro.bucket_brigade.tree import validate_capacity
 
-#: Sentinel shard returned by :meth:`ReplicatedShardMap.route`: the request
-#: may run on any shard and the service chooses at admission time.
-ANY_SHARD = -1
+# The "any shard may serve this request" sentinel is hosted on the
+# dependency-free query module so the engine that interprets it and the
+# maps that return it never import each other.
+from repro.core.query import ANY_SHARD
+
+__all__ = [
+    "ANY_SHARD",
+    "InterleavedShardMap",
+    "ReplicatedShardMap",
+]
 
 
 class InterleavedShardMap:

@@ -1,7 +1,21 @@
-"""Workload and trace generators used by examples, tests and benchmarks."""
+"""Workload and trace generators used by examples, tests and benchmarks.
 
+* :mod:`repro.workloads.arrivals` — the shared arrival-time cores
+  (exponential, bursty, periodic) behind both the scheduling streams in
+  :mod:`repro.scheduling.events` and the serving traces here.
+* :mod:`repro.workloads.generators` — memory contents, address
+  superpositions, open-loop query traces and the closed-loop client fleet
+  builder for the discrete-event engine.
+"""
+
+from repro.workloads.arrivals import (
+    burst_times,
+    exponential_times,
+    periodic_times,
+)
 from repro.workloads.generators import (
     bursty_trace,
+    closed_loop_source,
     poisson_trace,
     query_trace,
     random_address_superposition,
@@ -20,4 +34,8 @@ __all__ = [
     "query_trace",
     "poisson_trace",
     "bursty_trace",
+    "closed_loop_source",
+    "exponential_times",
+    "burst_times",
+    "periodic_times",
 ]

@@ -1,0 +1,86 @@
+"""Shared arrival-time cores for every trace and arrival-stream generator.
+
+Historically :mod:`repro.scheduling.events` (``QueryArrival`` streams for
+the scheduling experiments) and :mod:`repro.workloads.generators`
+(``QueryRequest`` traces for the serving layer) each drew their own
+arrival times — two RNG code paths that could silently diverge.  Both now
+call the three cores here, so a Poisson trace and a random arrival stream
+built from the same ``(num, mean, seed)`` land on *identical* times.
+
+All times are in layers on the caller's clock (weighted layers for the
+scheduling streams, raw layers for the serving traces).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def exponential_times(
+    num: int, mean_interarrival: float, seed: int = 0
+) -> list[float]:
+    """Cumulative arrival times with exponential interarrival gaps.
+
+    The memoryless online workload of Sec. 5.2: ``num`` draws from
+    ``Exp(mean_interarrival)`` accumulated into absolute times.
+
+    Args:
+        num: number of arrivals (>= 0).
+        mean_interarrival: mean gap between arrivals (> 0).
+        seed: RNG seed.
+    """
+    if num < 0:
+        raise ValueError("num must be >= 0")
+    if mean_interarrival <= 0:
+        raise ValueError("mean_interarrival must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(mean_interarrival, size=num)
+    return [float(t) for t in np.cumsum(gaps)]
+
+
+def burst_times(
+    num_bursts: int, burst_size: int, burst_spacing: float
+) -> list[float]:
+    """Arrival times of ``burst_size`` simultaneous requests every
+    ``burst_spacing`` layers (the stress pattern for window batching).
+
+    Args:
+        num_bursts: number of bursts (>= 0).
+        burst_size: simultaneous requests per burst (>= 1).
+        burst_spacing: layers between bursts (> 0).
+    """
+    if num_bursts < 0 or burst_size < 1:
+        raise ValueError("num_bursts must be >= 0 and burst_size >= 1")
+    if burst_spacing <= 0:
+        raise ValueError("burst_spacing must be positive")
+    return [
+        float(burst * burst_spacing)
+        for burst in range(num_bursts)
+        for _ in range(burst_size)
+    ]
+
+
+def periodic_times(
+    num_sources: int, rounds: int, period: float, stagger: float = 0.0
+) -> list[tuple[float, int]]:
+    """Arrival ``(time, source)`` pairs of periodically issuing sources.
+
+    Source ``s`` starts at ``s * stagger`` and issues every ``period``
+    layers for ``rounds`` rounds — the open-loop approximation of a QPU
+    that alternates querying and processing (Fig. 7).  Pairs are returned
+    in source-major generation order so callers can assign stable ids
+    before sorting by time.
+
+    Args:
+        num_sources: number of issuing sources (>= 0).
+        rounds: arrivals per source (>= 0).
+        period: layers between one source's consecutive arrivals.
+        stagger: offset between the start times of successive sources.
+    """
+    if num_sources < 0 or rounds < 0:
+        raise ValueError("num_sources and rounds must be >= 0")
+    return [
+        (source * stagger + round_index * period, source)
+        for source in range(num_sources)
+        for round_index in range(rounds)
+    ]

@@ -9,6 +9,8 @@ import numpy as np
 
 from repro.bucket_brigade.tree import validate_capacity
 from repro.core.query import QueryRequest
+from repro.engine.workload import ClosedLoopClient, ClosedLoopSource
+from repro.workloads.arrivals import burst_times, exponential_times
 
 
 def random_data(capacity: int, seed: int = 0, density: float = 0.5) -> list[int]:
@@ -107,6 +109,7 @@ def _arrival_trace(
     num_tenants: int,
     num_shards: int,
     seed: int,
+    deadline_layers: float | None = None,
 ) -> list[QueryRequest]:
     """Requests at the given arrival times, round-robin over tenants and
     random (shard-aligned) address superpositions."""
@@ -122,6 +125,7 @@ def _arrival_trace(
                 ),
                 request_time=float(t),
                 qpu=i % num_tenants,
+                deadline=None if deadline_layers is None else float(t) + deadline_layers,
             )
         )
     return requests
@@ -135,21 +139,24 @@ def poisson_trace(
     num_tenants: int = 1,
     num_shards: int = 1,
     seed: int = 0,
+    deadline_layers: float | None = None,
 ) -> list[QueryRequest]:
     """Open-loop Poisson traffic: exponential interarrival times (raw layers).
 
     Tenants are assigned round-robin and each query targets a uniformly
     random shard with a shard-aligned address superposition, so the trace
     can be served directly by a ``num_shards``-shard :class:`QRAMService`.
+    Arrival times come from the shared core in
+    :mod:`repro.workloads.arrivals`.  With ``deadline_layers`` every query
+    carries the deadline ``arrival + deadline_layers`` for SLO-aware
+    serving (EDF admission, shed accounting).
     """
     if num_queries < 1:
         raise ValueError("num_queries must be >= 1")
-    if mean_interarrival <= 0:
-        raise ValueError("mean_interarrival must be positive")
-    rng = np.random.default_rng(seed)
-    times = list(np.cumsum(rng.exponential(mean_interarrival, size=num_queries)))
+    times = exponential_times(num_queries, mean_interarrival, seed)
     return _arrival_trace(
-        capacity, times, addresses_per_query, num_tenants, num_shards, seed
+        capacity, times, addresses_per_query, num_tenants, num_shards, seed,
+        deadline_layers,
     )
 
 
@@ -162,18 +169,69 @@ def bursty_trace(
     num_tenants: int = 1,
     num_shards: int = 1,
     seed: int = 0,
+    deadline_layers: float | None = None,
 ) -> list[QueryRequest]:
     """Bursty traffic: ``burst_size`` simultaneous requests every
     ``burst_spacing`` raw layers (the stress pattern for window batching)."""
     if num_bursts < 1 or burst_size < 1:
         raise ValueError("num_bursts and burst_size must be >= 1")
-    if burst_spacing <= 0:
-        raise ValueError("burst_spacing must be positive")
-    times = [
-        float(burst * burst_spacing)
-        for burst in range(num_bursts)
-        for _ in range(burst_size)
-    ]
+    times = burst_times(num_bursts, burst_size, burst_spacing)
     return _arrival_trace(
-        capacity, times, addresses_per_query, num_tenants, num_shards, seed
+        capacity, times, addresses_per_query, num_tenants, num_shards, seed,
+        deadline_layers,
     )
+
+
+def closed_loop_source(
+    capacity: int,
+    num_clients: int,
+    queries_per_client: int,
+    think_layers: float,
+    addresses_per_query: int = 2,
+    num_shards: int = 1,
+    seed: int = 0,
+    deadline_layers: float | None = None,
+    stagger: float = 0.0,
+) -> ClosedLoopSource:
+    """A seeded fleet of closed-loop clients for the discrete-event engine.
+
+    Each client alternates one outstanding query with ``think_layers`` of
+    local processing (the QPU query/process loop of Fig. 7); its requests
+    carry shard-aligned address superpositions, so the source can drive a
+    ``num_shards``-shard interleaved :class:`~repro.service.QRAMService`
+    directly (use ``num_shards=1`` for replicated / shortest-queue fleets,
+    whose shards all serve the global address space).
+
+    Args:
+        capacity: global address-space size.
+        num_clients: closed-loop clients (tenant ids ``0..num_clients-1``).
+        queries_per_client: queries each client issues before retiring.
+        think_layers: processing time between completion and next request.
+        addresses_per_query: superposition size per query.
+        num_shards: interleaved shard count the superpositions align to.
+        seed: base RNG seed; every (client, round) pair derives its own.
+        deadline_layers: per-request relative deadline (``None`` = best
+            effort).
+        stagger: offset between successive clients' start times.
+    """
+    if num_clients < 1:
+        raise ValueError("num_clients must be >= 1")
+    clients = [
+        ClosedLoopClient(
+            client_id=client_id,
+            queries=queries_per_client,
+            think_layers=think_layers,
+            start_time=client_id * stagger,
+            deadline_layers=deadline_layers,
+        )
+        for client_id in range(num_clients)
+    ]
+
+    def address_factory(client: ClosedLoopClient, index: int) -> dict[int, complex]:
+        draw_seed = seed + client.client_id * 100003 + index
+        shard = int(np.random.default_rng(draw_seed).integers(num_shards))
+        return shard_aligned_superposition(
+            capacity, num_shards, shard, addresses_per_query, seed=draw_seed
+        )
+
+    return ClosedLoopSource(clients, address_factory)

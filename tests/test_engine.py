@@ -1,0 +1,386 @@
+"""Discrete-event serving engine: determinism, closed loops, SLOs, scaling."""
+
+import pytest
+
+from repro import (
+    AutoscalerConfig,
+    ClosedLoopClient,
+    ClosedLoopSource,
+    QRAMService,
+    QueryRequest,
+    ServiceEngine,
+    TraceSource,
+)
+from repro.engine.events import Arrival, EventHeap, WindowDrain, WindowStart
+from repro.metrics.service_stats import REJECT_DEADLINE_EXPIRED, REJECT_QUEUE_FULL
+from repro.scheduling.events import random_arrivals
+from repro.workloads import (
+    closed_loop_source,
+    exponential_times,
+    poisson_trace,
+    random_data,
+)
+
+
+def _timing_signature(report):
+    return [
+        (s.query_id, s.tenant, s.shard, s.request_time, s.admit_layer,
+         s.start_layer, s.finish_layer)
+        for s in report.served
+    ]
+
+
+# ----------------------------------------------------------------- event heap
+def test_event_heap_orders_by_time_then_priority():
+    heap = EventHeap()
+    heap.push(5.0, WindowStart(0))
+    heap.push(5.0, Arrival(QueryRequest(0, {0: 1.0})))
+    heap.push(5.0, WindowDrain(1))
+    heap.push(1.0, WindowStart(2))
+    kinds = [type(heap.pop()[1]) for _ in range(4)]
+    # Earlier time first; at equal times arrivals < drains < starts.
+    assert kinds == [WindowStart, Arrival, WindowDrain, WindowStart]
+
+
+# -------------------------------------------------- open loop == legacy serve
+def test_open_loop_engine_matches_serve_wrapper():
+    capacity = 16
+    data = random_data(capacity, seed=3)
+    trace = poisson_trace(capacity, 20, mean_interarrival=6.0, num_shards=2, seed=5)
+    service = QRAMService(capacity, num_shards=2, data=data)
+    via_wrapper = service.serve(trace)
+    via_engine = ServiceEngine(service).run(TraceSource(trace))
+    assert _timing_signature(via_wrapper) == _timing_signature(via_engine)
+    assert via_wrapper.stats == via_engine.stats
+
+
+def test_open_loop_runs_are_seed_stable():
+    capacity = 16
+    trace = poisson_trace(capacity, 30, mean_interarrival=4.0, num_shards=2, seed=9)
+    service = QRAMService(capacity, num_shards=2, functional=False)
+    first = service.serve(trace)
+    second = service.serve(trace)
+    assert _timing_signature(first) == _timing_signature(second)
+    assert first.stats == second.stats
+
+
+# ------------------------------------------------------------- closed loop
+def test_closed_loop_runs_are_deterministic():
+    capacity = 16
+    service = QRAMService(capacity, num_shards=2, functional=False)
+    reports = []
+    for _ in range(2):
+        source = closed_loop_source(
+            capacity, num_clients=3, queries_per_client=4,
+            think_layers=50.0, num_shards=2, seed=11,
+        )
+        reports.append(service.serve_workload(source))
+    assert _timing_signature(reports[0]) == _timing_signature(reports[1])
+    assert reports[0].stats == reports[1].stats
+    assert reports[0].stats.total_queries == 12
+
+
+def test_closed_loop_respects_think_time_feedback():
+    """Each client's next request is issued exactly think_layers after its
+    previous completion — arrivals depend on service latency."""
+    capacity = 16
+    think = 75.0
+    service = QRAMService(capacity, num_shards=1, functional=False)
+    source = closed_loop_source(
+        capacity, num_clients=2, queries_per_client=5,
+        think_layers=think, num_shards=1, seed=2,
+    )
+    report = service.serve_workload(source)
+    assert report.stats.total_queries == 10
+    by_client = {}
+    for record in sorted(report.served, key=lambda s: s.request_time):
+        by_client.setdefault(record.tenant, []).append(record)
+    for records in by_client.values():
+        assert len(records) == 5
+        for previous, current in zip(records, records[1:]):
+            assert current.request_time == pytest.approx(
+                previous.finish_layer + think
+            )
+
+
+def test_closed_loop_client_validation():
+    with pytest.raises(ValueError):
+        ClosedLoopClient(0, queries=-1, think_layers=1.0)
+    with pytest.raises(ValueError):
+        ClosedLoopClient(0, queries=1, think_layers=-1.0)
+    with pytest.raises(ValueError):
+        ClosedLoopSource([], lambda client, index: {0: 1.0})
+    duplicate = [
+        ClosedLoopClient(0, queries=1, think_layers=0.0),
+        ClosedLoopClient(0, queries=1, think_layers=0.0),
+    ]
+    with pytest.raises(ValueError):
+        ClosedLoopSource(duplicate, lambda client, index: {0: 1.0})
+
+
+# ----------------------------------------------------------------------- EDF
+def test_edf_admits_in_deadline_order():
+    capacity = 8
+    # One shard, windows of one query: admission order is fully visible.
+    # Deadlines are the reverse of arrival/id order.
+    requests = [
+        QueryRequest(i, {i % capacity: 1.0}, request_time=0.0,
+                     deadline=1000.0 - 100 * i)
+        for i in range(4)
+    ]
+    edf = QRAMService(capacity, num_shards=1, window_size=1,
+                      functional=False, policy="edf")
+    report = edf.serve(requests)
+    admit_order = [s.query_id for s in sorted(report.served,
+                                              key=lambda s: s.start_layer)]
+    assert admit_order == [3, 2, 1, 0]
+
+    fifo = QRAMService(capacity, num_shards=1, window_size=1, functional=False)
+    report = fifo.serve(requests)
+    admit_order = [s.query_id for s in sorted(report.served,
+                                              key=lambda s: s.start_layer)]
+    assert admit_order == [0, 1, 2, 3]
+
+
+def test_edf_orders_best_effort_last():
+    capacity = 8
+    requests = [
+        QueryRequest(0, {0: 1.0}, request_time=0.0, deadline=None),
+        QueryRequest(1, {1: 1.0}, request_time=0.0, deadline=500.0),
+    ]
+    service = QRAMService(capacity, num_shards=1, window_size=1,
+                          functional=False, policy="edf")
+    report = service.serve(requests)
+    order = [s.query_id for s in sorted(report.served,
+                                        key=lambda s: s.start_layer)]
+    assert order == [1, 0]
+
+
+# --------------------------------------------------------------- backpressure
+def test_bounded_queue_rejects_overflow():
+    capacity = 8
+    requests = [
+        QueryRequest(i, {i % capacity: 1.0}, request_time=0.0) for i in range(10)
+    ]
+    service = QRAMService(capacity, num_shards=1, window_size=1, functional=False)
+    report = service.serve_workload(TraceSource(requests), max_queue_depth=2)
+    # All 10 arrive at t=0: the first two enter the bounded queue, the rest
+    # are rejected before any window starts.
+    assert report.stats.total_queries == 2
+    assert report.stats.rejected_queries == 8
+    assert report.stats.offered_queries == 10
+    assert len(report.rejected) == 8
+    assert all(r.reason == REJECT_QUEUE_FULL for r in report.rejected)
+    assert {r.query_id for r in report.rejected} == set(range(2, 10))
+
+
+def test_expired_deadlines_are_shed():
+    capacity = 8
+    # A burst with deadlines only the first window can meet; the stragglers
+    # expire while queued and are shed, never executed.
+    requests = [
+        QueryRequest(i, {i % capacity: 1.0}, request_time=0.0, deadline=60.0)
+        for i in range(6)
+    ]
+    service = QRAMService(capacity, num_shards=1, window_size=1, functional=False)
+    report = service.serve_workload(TraceSource(requests), shed_expired=True)
+    shed = [r for r in report.rejected if r.reason == REJECT_DEADLINE_EXPIRED]
+    assert report.stats.shed_queries == len(shed) > 0
+    assert report.stats.total_queries + len(shed) == 6
+    assert report.stats.rejected_queries == 0
+    # Every shed request is a deadline miss; the rate covers served + shed.
+    assert report.stats.deadline_misses >= len(shed)
+    assert 0.0 < report.stats.deadline_miss_rate <= 1.0
+
+
+def test_closed_loop_clients_survive_rejections():
+    """A rejected request must not stall its closed-loop client: the client
+    learns of the failure and issues its remaining queries, so every query
+    of the fleet is eventually offered (served or rejected)."""
+    capacity = 8
+    service = QRAMService(capacity, num_shards=1, window_size=1, functional=False)
+    source = closed_loop_source(
+        capacity, num_clients=6, queries_per_client=4,
+        think_layers=0.0, num_shards=1, seed=1,
+    )
+    report = service.serve_workload(source, max_queue_depth=2)
+    offered = report.stats.total_queries + len(report.rejected)
+    assert offered == source.total_queries == 24
+    assert len(report.rejected) > 0
+
+
+def test_all_shed_tenant_appears_in_per_tenant_stats():
+    capacity = 8
+    # Tenant 1's only request has an already-tight deadline behind a long
+    # window; it is shed, and must still appear in the per-tenant view.
+    requests = [
+        QueryRequest(0, {0: 1.0}, request_time=0.0, qpu=0),
+        QueryRequest(1, {1: 1.0}, request_time=1.0, qpu=1, deadline=2.0),
+    ]
+    service = QRAMService(capacity, num_shards=1, window_size=1, functional=False)
+    report = service.serve_workload(TraceSource(requests), shed_expired=True)
+    assert report.stats.shed_queries == 1
+    assert 1 in report.stats.per_tenant
+    tenant = report.stats.per_tenant[1]
+    assert tenant.queries == 0
+    assert tenant.deadline_misses == 1
+    assert tenant.deadline_miss_rate == 1.0
+
+
+def test_fully_refused_run_raises_clearly():
+    capacity = 8
+    service = QRAMService(capacity, num_shards=1, window_size=1, functional=False)
+    source = closed_loop_source(
+        capacity, num_clients=1, queries_per_client=0,
+        think_layers=1.0, num_shards=1,
+    )
+    with pytest.raises(ValueError, match="no requests"):
+        service.serve_workload(source)
+
+
+# -------------------------------------------------------------- percentiles
+def test_latency_percentiles_and_miss_rate_fields():
+    capacity = 16
+    trace = poisson_trace(capacity, 40, mean_interarrival=3.0, num_shards=2,
+                          seed=7, deadline_layers=250.0)
+    service = QRAMService(capacity, num_shards=2, functional=False)
+    report = service.serve(trace)
+    stats = report.stats
+    assert 0.0 < stats.p50_latency_layers <= stats.p95_latency_layers
+    assert stats.p95_latency_layers <= stats.p99_latency_layers
+    worst = max(r.finish_layer - r.request_time for r in report.served)
+    assert stats.p99_latency_layers <= worst + 1e-9
+    assert stats.offered_queries == 40
+    assert 0.0 <= stats.deadline_miss_rate <= 1.0
+    for tenant_stats in stats.per_tenant.values():
+        assert tenant_stats.p95_latency_layers > 0.0
+
+
+# ---------------------------------------------------------------- autoscaler
+def test_autoscaler_requires_replicated_placement():
+    service = QRAMService(16, num_shards=2, functional=False)
+    config = AutoscalerConfig(period=50.0, high_watermark=3)
+    with pytest.raises(ValueError, match="shortest-queue"):
+        service.serve_workload(
+            TraceSource([QueryRequest(0, {0: 1.0})]), autoscaler=config
+        )
+    with pytest.raises(ValueError):
+        AutoscalerConfig(period=0.0, high_watermark=3)
+    with pytest.raises(ValueError):
+        AutoscalerConfig(period=10.0, high_watermark=1, low_watermark=2)
+    with pytest.raises(ValueError):
+        AutoscalerConfig(period=10.0, high_watermark=3, min_shards=4, max_shards=2)
+    # The starting fleet must already lie inside the autoscaler's bounds.
+    replicated = QRAMService(16, num_shards=1, functional=False,
+                             placement="shortest-queue")
+    with pytest.raises(ValueError, match="bounds"):
+        replicated.serve_workload(
+            TraceSource([QueryRequest(0, {0: 1.0})]),
+            autoscaler=AutoscalerConfig(period=10.0, high_watermark=3,
+                                        min_shards=2, max_shards=4),
+        )
+
+
+def test_autoscaler_scales_up_and_down():
+    capacity = 8
+    # A deep burst at t=0 overloads the single replica; one late straggler
+    # keeps the clock alive so the fleet can drain and scale back down.
+    requests = [
+        QueryRequest(i, {i % capacity: 1.0}, request_time=0.0) for i in range(12)
+    ]
+    requests.append(QueryRequest(99, {3: 1.0}, request_time=50_000.0))
+    service = QRAMService(capacity, num_shards=1, functional=False,
+                          placement="shortest-queue")
+    config = AutoscalerConfig(period=100.0, high_watermark=4, low_watermark=0,
+                              min_shards=1, max_shards=3)
+    report = service.serve_workload(TraceSource(requests), autoscaler=config)
+
+    actions = [event.action for event in report.scale_events]
+    assert "up" in actions
+    assert "down" in actions
+    # Replicas never exceed the ceiling and end back at the floor.
+    assert max(e.active_shards for e in report.scale_events) <= 3
+    assert report.scale_events[-1].active_shards == 1
+    # All queries served, and the added replicas actually absorbed load.
+    assert report.stats.total_queries == 13
+    assert len(report.stats.per_shard) >= 2
+    # Rebalanced queues are visible in the replica's depth accounting.
+    replica_shards = [s for s in report.stats.per_shard if s != 0]
+    assert any(
+        report.stats.per_shard[s].max_queue_depth > 0 for s in replica_shards
+    )
+    # Scaled-up replicas serve the same architecture.
+    assert all(s.architecture == "Fat-Tree" for s in report.served)
+
+
+def test_autoscaler_reactivates_retired_replicas():
+    """Oscillating load reuses the retired replica instead of building a
+    fresh backend (and a fresh shard index) on every up-transition."""
+    capacity = 8
+    first_burst = [
+        QueryRequest(i, {i % capacity: 1.0}, request_time=0.0) for i in range(10)
+    ]
+    second_burst = [
+        QueryRequest(100 + i, {i % capacity: 1.0}, request_time=20_000.0)
+        for i in range(10)
+    ]
+    straggler = [QueryRequest(999, {0: 1.0}, request_time=60_000.0)]
+    service = QRAMService(capacity, num_shards=1, functional=False,
+                          placement="shortest-queue")
+    config = AutoscalerConfig(period=100.0, high_watermark=4, low_watermark=0,
+                              min_shards=1, max_shards=3)
+    report = service.serve_workload(
+        TraceSource(first_burst + second_burst + straggler), autoscaler=config
+    )
+    ups = [e for e in report.scale_events if e.action == "up"]
+    downs = [e for e in report.scale_events if e.action == "down"]
+    assert len(ups) >= 2 and len(downs) >= 2
+    # The second expansion reuses a shard index already seen, never minting
+    # more distinct replicas than the concurrent maximum.
+    assert set(e.shard for e in ups[1:]) <= set(e.shard for e in downs)
+    assert max(e.active_shards for e in report.scale_events) <= 3
+    assert report.stats.total_queries == 21
+
+
+def test_autoscaled_run_is_deterministic():
+    capacity = 8
+    requests = [
+        QueryRequest(i, {i % capacity: 1.0}, request_time=float(i)) for i in range(16)
+    ]
+    service = QRAMService(capacity, num_shards=1, functional=False,
+                          placement="shortest-queue")
+    config = AutoscalerConfig(period=40.0, high_watermark=3, low_watermark=0,
+                              max_shards=4)
+    first = service.serve_workload(TraceSource(requests), autoscaler=config)
+    second = service.serve_workload(TraceSource(requests), autoscaler=config)
+    assert _timing_signature(first) == _timing_signature(second)
+    assert first.scale_events == second.scale_events
+
+
+# ------------------------------------------------------- unified arrival core
+def test_scheduling_and_serving_share_one_arrival_core():
+    """random_arrivals and poisson_trace draw identical times from the
+    shared exponential core for the same (num, mean, seed)."""
+    times = exponential_times(15, 7.0, seed=4)
+    stream = random_arrivals(15, 7.0, seed=4)
+    trace = poisson_trace(16, 15, mean_interarrival=7.0, seed=4)
+    assert [a.request_time for a in stream] == times
+    assert [r.request_time for r in trace] == times
+    with pytest.raises(ValueError):
+        exponential_times(5, 0.0)
+    with pytest.raises(ValueError):
+        exponential_times(-1, 1.0)
+
+
+# -------------------------------------------------------------- report index
+def test_result_for_uses_constant_time_index():
+    capacity = 16
+    trace = poisson_trace(capacity, 12, mean_interarrival=10.0, num_shards=2, seed=1)
+    report = QRAMService(capacity, num_shards=2, functional=False).serve(trace)
+    for request in trace:
+        assert report.result_for(request.query_id).query_id == request.query_id
+    # The lazily built index is reused across lookups.
+    assert report._result_index is not None
+    assert len(report._result_index) == 12
+    with pytest.raises(KeyError):
+        report.result_for(404)
