@@ -20,7 +20,11 @@ Measurements:
 * the offered-load saturation axis: the same fleet under light to
   saturating Poisson load with SLO deadlines, bounded queues and expired-
   deadline shedding — the discrete-event engine's p95 latency, deadline-
-  miss-rate and reject/shed accounting as the load crosses capacity.
+  miss-rate and reject/shed accounting as the load crosses capacity;
+* the fidelity axis: the same trace drained by a bare fleet, a mixed
+  bare + ``distance=3`` encoded fleet, and the mixed fleet under a
+  per-request fidelity SLO — comparing predicted mean/min fidelity,
+  fidelity-reject counts and the throughput cost of quality.
 """
 
 import time
@@ -33,6 +37,7 @@ from repro.bucket_brigade.qram import BucketBrigadeQRAM
 from repro.core.executor import FatTreeExecutor
 from repro.core.qram import FatTreeQRAM
 from repro.engine import TraceSource
+from repro.hardware.parameters import TABLE3_PARAMETERS
 from repro.service import QRAMService
 from repro.workloads import poisson_trace, random_data
 
@@ -261,3 +266,76 @@ def test_service_saturation_axis(benchmark):
     assert saturated.rejected_queries + saturated.shed_queries > 0
     assert saturated.deadline_miss_rate > light.deadline_miss_rate
     assert saturated.p95_latency_layers >= light.p95_latency_layers
+
+
+def test_service_fidelity_axis(benchmark):
+    """Quality-of-result as a serving axis: bare vs mixed-encoded fleets.
+
+    The same Poisson trace is drained by an all-bare Fat-Tree fleet, a
+    mixed bare + ``distance=3`` encoded fleet, and the mixed fleet again
+    with every request carrying a ``min_fidelity`` SLO only the encoded
+    replica can meet.  The encoded replica lifts mean/min fidelity, and
+    the SLO pins all traffic onto it — quality bought with makespan.
+    """
+    capacity = 16
+    num_queries = 32
+    params = TABLE3_PARAMETERS[1e-4]      # below threshold: d=3 helps
+    fleets = {
+        "bare": dict(architectures=["Fat-Tree", "Fat-Tree"]),
+        "mixed": dict(architectures=["Fat-Tree", "Fat-Tree@d3"]),
+        "mixed+slo": dict(
+            architectures=["Fat-Tree", "Fat-Tree@d3"], min_fidelity=0.995
+        ),
+    }
+
+    def sweep():
+        results = {}
+        for label, config in fleets.items():
+            min_fidelity = config.get("min_fidelity")
+            trace = poisson_trace(
+                capacity, num_queries, mean_interarrival=30.0, num_tenants=2,
+                seed=11, min_fidelity=min_fidelity,
+            )
+            service = QRAMService(
+                capacity, num_shards=2, functional=False,
+                architectures=config["architectures"],
+                placement="shortest-queue", parameters=params,
+            )
+            results[label] = service.serve_workload(TraceSource(trace)).stats
+        return results
+
+    results = sweep()
+    benchmark(sweep)
+    rows = {}
+    for label, stats in results.items():
+        rows[label] = {
+            "served": stats.total_queries,
+            "fidelity_rejected": stats.fidelity_rejected_queries,
+            "mean_fidelity": round(stats.mean_fidelity, 5),
+            "min_fidelity": round(stats.min_fidelity, 5),
+            "slo_miss_rate": round(stats.fidelity_slo_miss_rate, 3),
+            "makespan_layers": round(stats.makespan_layers, 1),
+            "per_backend_mean": {
+                name: round(b.mean_fidelity, 5)
+                for name, b in stats.per_backend.items()
+            },
+        }
+    print_rows(
+        "Fidelity axis — 2 shards, capacity 16, 32-query Poisson trace",
+        rows,
+    )
+    bare, mixed, slo = results["bare"], results["mixed"], results["mixed+slo"]
+    for stats in results.values():
+        assert stats.total_queries == num_queries
+        assert stats.mean_fidelity is not None
+    # The encoded replica lifts the fleet's fidelity aggregates.
+    assert mixed.mean_fidelity > bare.mean_fidelity
+    assert mixed.per_backend["Fat-Tree@d3"].mean_fidelity > (
+        mixed.per_backend["Fat-Tree"].mean_fidelity
+    )
+    # Under the SLO every query serves on the encoded replica and meets it.
+    assert slo.fidelity_slo_misses == 0
+    assert slo.min_fidelity >= 0.995
+    assert set(slo.per_backend) == {"Fat-Tree@d3"}
+    # Quality costs time: one encoded replica absorbs the whole trace.
+    assert slo.makespan_layers > mixed.makespan_layers

@@ -11,6 +11,11 @@ Every architecture of the paper's evaluation is served through the same
   (newly memoized) BB executor.
 * :mod:`repro.backends.analytic` — Virtual / D-Fat-Tree / D-BB: model-based
   timing with exact functional queries.
+* :mod:`repro.backends.noise` — predicted per-slot fidelity from the
+  Sec. 8.1 bounds, including pipelining-depth degradation.
+* :mod:`repro.backends.encoded` — QEC-encoded replica wrapper
+  (``"<architecture>@d<k>"`` names, Table-5 resource model, logical
+  error rates).
 
 Backends are built by name through the single architecture factory,
 :func:`repro.baselines.registry.build_backend`.
@@ -22,6 +27,12 @@ from repro.backends.protocol import (
     ideal_output,
     output_fidelity,
 )
+from repro.backends.encoded import (
+    EncodedBackend,
+    encoded_backend_name,
+    parse_encoded_name,
+)
+from repro.backends.noise import PredictedFidelityMixin, pipelined_fidelities
 from repro.backends.fat_tree import FatTreeBackend
 from repro.backends.bucket_brigade import BBBackend
 from repro.backends.analytic import (
@@ -40,4 +51,9 @@ __all__ = [
     "VirtualBackend",
     "DistributedFatTreeBackend",
     "DistributedBBBackend",
+    "EncodedBackend",
+    "PredictedFidelityMixin",
+    "encoded_backend_name",
+    "parse_encoded_name",
+    "pipelined_fidelities",
 ]

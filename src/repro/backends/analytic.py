@@ -4,7 +4,11 @@ These adapters make the paper's comparison architectures *servable*: their
 timing comes from the Sec. 6.1 latency models (in raw layers), while their
 functional path reuses the models' exact query unitaries — page-by-page BB
 accesses for Virtual QRAM, per-copy gate-level queries for the distributed
-replicas.
+replicas.  Every slot additionally carries a predicted fidelity from the
+Sec. 8.1 bounds (:mod:`repro.backends.noise`): the per-page BB bound
+accumulated over the page loop for Virtual, the per-copy Fat-Tree / BB
+bound (degraded by within-copy pipelining overlap) for the distributed
+baselines.
 
 Timing models (per window of ``k`` queries, all in raw layers):
 
@@ -23,17 +27,28 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.backends.noise import (
+    PredictedFidelityMixin,
+    bb_bounds,
+    fat_tree_bounds,
+    pipelined_fidelities,
+    virtual_bounds,
+)
 from repro.backends.protocol import WindowResult, ideal_output, output_fidelity
 from repro.baselines.distributed import DistributedBBQRAM, DistributedFatTreeQRAM
 from repro.baselines.virtual_qram import VirtualQRAM
 from repro.core.query import QueryRequest
+from repro.hardware.parameters import DEFAULT_PARAMETERS, HardwareParameters
 
 
-class _ModelBackend:
+class _ModelBackend(PredictedFidelityMixin):
     """Shared delegation for backends that wrap one architecture model."""
 
-    def __init__(self, model) -> None:
+    def __init__(
+        self, model, parameters: HardwareParameters = DEFAULT_PARAMETERS
+    ) -> None:
         self.model = model
+        self.parameters = parameters
 
     @property
     def capacity(self) -> int:
@@ -82,6 +97,7 @@ class VirtualBackend(_ModelBackend):
         capacity: memory size ``N``.
         data: optional classical memory contents.
         qram: adopt an existing :class:`VirtualQRAM`.
+        parameters: noise model used for the predicted slot fidelities.
     """
 
     name = "Virtual"
@@ -91,34 +107,53 @@ class VirtualBackend(_ModelBackend):
         capacity: int,
         data: Sequence[int] | None = None,
         qram: VirtualQRAM | None = None,
+        parameters: HardwareParameters = DEFAULT_PARAMETERS,
     ) -> None:
-        super().__init__(qram if qram is not None else VirtualQRAM(capacity, data))
+        super().__init__(
+            qram if qram is not None else VirtualQRAM(capacity, data),
+            parameters=parameters,
+        )
 
     def minimum_feasible_interval(self, num_queries: int = 2) -> int:
         """Outstanding queries are admitted concurrently (page-multiplexed)."""
         return 0
+
+    def _window_offsets(
+        self, batch_size: int
+    ) -> tuple[int, float, tuple[float, ...], tuple[float, ...]]:
+        lifetime = self.model.raw_query_layers
+        parallelism = max(1, self.query_parallelism)
+        # Queries beyond the parallelism run in later full rounds.
+        rounds = [slot // parallelism for slot in range(batch_size)]
+        starts = tuple(float(r * lifetime + 1) for r in rounds)
+        finishes = tuple(start + lifetime - 1 for start in starts)
+        total = float((max(rounds) + 1) * lifetime)
+        return 0, total, starts, finishes
+
+    def _infidelity_bounds(
+        self, parameters: HardwareParameters
+    ) -> tuple[float, float]:
+        return virtual_bounds(
+            self.capacity, self.model.num_pages, self.model.page_size, parameters
+        )
 
     def run_window(
         self, requests: Sequence[QueryRequest], functional: bool = True
     ) -> WindowResult:
         if not requests:
             raise ValueError("a window requires at least one request")
-        lifetime = self.model.raw_query_layers
-        parallelism = max(1, self.query_parallelism)
-        # Queries beyond the parallelism run in later full rounds.
-        rounds = [slot // parallelism for slot in range(len(requests))]
-        starts = tuple(float(r * lifetime + 1) for r in rounds)
-        finishes = tuple(start + lifetime - 1 for start in starts)
-        total = float((max(rounds) + 1) * lifetime)
+        interval, total, starts, finishes = self._window_offsets(len(requests))
+        predicted = self.predicted_window_fidelities(len(requests))
 
         if not functional:
             return WindowResult(
-                interval=0,
+                interval=interval,
                 total_layers=total,
                 start_offsets=starts,
                 finish_offsets=finishes,
                 outputs=(None,) * len(requests),
-                fidelities=(None,) * len(requests),
+                fidelities=predicted,
+                predicted_fidelities=predicted,
             )
 
         data = self.model.data
@@ -129,12 +164,13 @@ class VirtualBackend(_ModelBackend):
             outputs.append(actual)
             fidelities.append(fidelity)
         return WindowResult(
-            interval=0,
+            interval=interval,
             total_layers=total,
             start_offsets=starts,
             finish_offsets=finishes,
             outputs=tuple(outputs),
             fidelities=tuple(fidelities),
+            predicted_fidelities=predicted,
         )
 
 
@@ -143,7 +179,10 @@ class _DistributedBackend(_ModelBackend):
 
     Slot ``s`` of a window runs on copy ``s mod C`` as that copy's
     ``s div C``-th local query; concrete subclasses define the per-copy
-    admission interval and lifetime.
+    admission interval and lifetime.  Only same-copy queries share
+    hardware, so the crosstalk degradation applies within a copy's
+    sub-batch and the offsets below (per-copy local slots) encode exactly
+    that overlap structure.
     """
 
     def _copy_timing(self) -> tuple[int, int]:  # pragma: no cover - abstract
@@ -153,17 +192,58 @@ class _DistributedBackend(_ModelBackend):
     def minimum_feasible_interval(self, num_queries: int = 2) -> int:
         return self._copy_timing()[0]
 
+    def _window_offsets(
+        self, batch_size: int
+    ) -> tuple[int, float, tuple[float, ...], tuple[float, ...]]:
+        interval, lifetime = self._copy_timing()
+        copies = self.model.num_copies
+        local_slots = [slot // copies for slot in range(batch_size)]
+        starts = tuple(float(local * interval + 1) for local in local_slots)
+        finishes = tuple(start + lifetime - 1 for start in starts)
+        total = float(max(local_slots) * interval + lifetime)
+        return interval, total, starts, finishes
+
+    def predicted_window_fidelities(self, batch_size: int = 1) -> tuple[float, ...]:
+        """Per-slot prediction with crosstalk restricted to same-copy slots.
+
+        The generic offset-overlap model would couple slots on *different*
+        copies (their residencies coincide in time but run on independent
+        hardware); predicting each copy's sub-batch separately and
+        interleaving the results keeps the degradation physical.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        cache = self.__dict__.setdefault("_predicted_fidelity_cache", {})
+        if batch_size not in cache:
+            interval, lifetime = self._copy_timing()
+            base, crosstalk = self._infidelity_bounds(self.parameters)
+            copies = self.model.num_copies
+            per_copy = [
+                len(range(copy, batch_size, copies)) for copy in range(copies)
+            ]
+            sub_batches: dict[int, tuple[float, ...]] = {}
+            for size in set(per_copy):
+                if size == 0:
+                    continue
+                starts = tuple(float(local * interval + 1) for local in range(size))
+                finishes = tuple(start + lifetime - 1 for start in starts)
+                sub_batches[size] = pipelined_fidelities(
+                    base, crosstalk, starts, finishes
+                )
+            fidelities = [0.0] * batch_size
+            for copy in range(copies):
+                for local, slot in enumerate(range(copy, batch_size, copies)):
+                    fidelities[slot] = sub_batches[per_copy[copy]][local]
+            cache[batch_size] = tuple(fidelities)
+        return cache[batch_size]
+
     def run_window(
         self, requests: Sequence[QueryRequest], functional: bool = True
     ) -> WindowResult:
         if not requests:
             raise ValueError("a window requires at least one request")
-        interval, lifetime = self._copy_timing()
-        copies = self.model.num_copies
-        local_slots = [slot // copies for slot in range(len(requests))]
-        starts = tuple(float(local * interval + 1) for local in local_slots)
-        finishes = tuple(start + lifetime - 1 for start in starts)
-        total = float(max(local_slots) * interval + lifetime)
+        interval, total, starts, finishes = self._window_offsets(len(requests))
+        predicted = self.predicted_window_fidelities(len(requests))
 
         if not functional:
             return WindowResult(
@@ -172,10 +252,12 @@ class _DistributedBackend(_ModelBackend):
                 start_offsets=starts,
                 finish_offsets=finishes,
                 outputs=(None,) * len(requests),
-                fidelities=(None,) * len(requests),
+                fidelities=predicted,
+                predicted_fidelities=predicted,
             )
 
         data = self.model.data
+        copies = self.model.num_copies
         outputs = []
         fidelities = []
         for slot, request in enumerate(requests):
@@ -190,6 +272,7 @@ class _DistributedBackend(_ModelBackend):
             finish_offsets=finishes,
             outputs=tuple(outputs),
             fidelities=tuple(fidelities),
+            predicted_fidelities=predicted,
         )
 
 
@@ -203,14 +286,21 @@ class DistributedFatTreeBackend(_DistributedBackend):
         capacity: int,
         data: Sequence[int] | None = None,
         qram: DistributedFatTreeQRAM | None = None,
+        parameters: HardwareParameters = DEFAULT_PARAMETERS,
     ) -> None:
         super().__init__(
-            qram if qram is not None else DistributedFatTreeQRAM(capacity, data)
+            qram if qram is not None else DistributedFatTreeQRAM(capacity, data),
+            parameters=parameters,
         )
 
     def _copy_timing(self) -> tuple[int, int]:
         executor = self.model.copies[0].cached_executor()
         return executor.minimum_feasible_interval(), executor.relative_raw_latency()
+
+    def _infidelity_bounds(
+        self, parameters: HardwareParameters
+    ) -> tuple[float, float]:
+        return fat_tree_bounds(self.capacity, parameters)
 
 
 class DistributedBBBackend(_DistributedBackend):
@@ -223,11 +313,18 @@ class DistributedBBBackend(_DistributedBackend):
         capacity: int,
         data: Sequence[int] | None = None,
         qram: DistributedBBQRAM | None = None,
+        parameters: HardwareParameters = DEFAULT_PARAMETERS,
     ) -> None:
         super().__init__(
-            qram if qram is not None else DistributedBBQRAM(capacity, data)
+            qram if qram is not None else DistributedBBQRAM(capacity, data),
+            parameters=parameters,
         )
 
     def _copy_timing(self) -> tuple[int, int]:
         lifetime = self.model.copies[0].raw_query_layers
         return lifetime, lifetime
+
+    def _infidelity_bounds(
+        self, parameters: HardwareParameters
+    ) -> tuple[float, float]:
+        return bb_bounds(self.capacity, parameters)

@@ -6,25 +6,30 @@ overlap queries, so its query parallelism is 1 and a window of ``k``
 queries drains in ``k * (8n + 1)`` raw layers; the functional path runs on
 the QRAM's cached executor, whose memoized schedule and lowered gate
 sequences make repeated windows cheap (the BB analogue of the Fat-Tree
-schedule-cache fast path).
+schedule-cache fast path).  Predicted slot fidelities come from the BB
+bound of Sec. 8.1; with sequential admission the slots never overlap, so
+no pipelining degradation applies.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.backends.noise import PredictedFidelityMixin, bb_bounds
 from repro.backends.protocol import WindowResult, ideal_output, output_fidelity
 from repro.bucket_brigade.qram import BucketBrigadeQRAM
 from repro.core.query import QueryRequest
+from repro.hardware.parameters import DEFAULT_PARAMETERS, HardwareParameters
 
 
-class BBBackend:
+class BBBackend(PredictedFidelityMixin):
     """Serves traffic through one Bucket-Brigade QRAM.
 
     Args:
         capacity: memory size ``N`` (power of two >= 2).
         data: optional classical memory contents.
         qram: adopt an existing :class:`BucketBrigadeQRAM`.
+        parameters: noise model used for the predicted slot fidelities.
     """
 
     name = "BB"
@@ -34,8 +39,10 @@ class BBBackend:
         capacity: int,
         data: Sequence[int] | None = None,
         qram: BucketBrigadeQRAM | None = None,
+        parameters: HardwareParameters = DEFAULT_PARAMETERS,
     ) -> None:
         self.qram = qram if qram is not None else BucketBrigadeQRAM(capacity, data)
+        self.parameters = parameters
 
     # -------------------------------------------------------------- structure
     @property
@@ -76,6 +83,20 @@ class BBBackend:
     def amortized_query_latency(self, num_queries: int | None = None) -> float:
         return self.qram.amortized_query_latency(num_queries)
 
+    def _window_offsets(
+        self, batch_size: int
+    ) -> tuple[int, float, tuple[float, ...], tuple[float, ...]]:
+        lifetime = self.qram.raw_query_layers
+        starts = tuple(float(slot * lifetime + 1) for slot in range(batch_size))
+        finishes = tuple(start + lifetime - 1 for start in starts)
+        return lifetime, float(batch_size * lifetime), starts, finishes
+
+    # --------------------------------------------------------------- fidelity
+    def _infidelity_bounds(
+        self, parameters: HardwareParameters
+    ) -> tuple[float, float]:
+        return bb_bounds(self.capacity, parameters)
+
     # -------------------------------------------------------------- execution
     def run_window(
         self, requests: Sequence[QueryRequest], functional: bool = True
@@ -83,19 +104,18 @@ class BBBackend:
         """Run one batch of queries back to back on the cached executor."""
         if not requests:
             raise ValueError("a window requires at least one request")
-        lifetime = self.qram.raw_query_layers
-        starts = tuple(float(slot * lifetime + 1) for slot in range(len(requests)))
-        finishes = tuple(start + lifetime - 1 for start in starts)
-        total = float(len(requests) * lifetime)
+        interval, total, starts, finishes = self._window_offsets(len(requests))
+        predicted = self.predicted_window_fidelities(len(requests))
 
         if not functional:
             return WindowResult(
-                interval=lifetime,
+                interval=interval,
                 total_layers=total,
                 start_offsets=starts,
                 finish_offsets=finishes,
                 outputs=(None,) * len(requests),
-                fidelities=(None,) * len(requests),
+                fidelities=predicted,
+                predicted_fidelities=predicted,
             )
 
         executor = self.qram.cached_executor()
@@ -115,10 +135,11 @@ class BBBackend:
                 output_fidelity(ideal_output(executor.data, request), actual)
             )
         return WindowResult(
-            interval=lifetime,
+            interval=interval,
             total_layers=total,
             start_offsets=starts,
             finish_offsets=finishes,
             outputs=tuple(outputs),
             fidelities=tuple(fidelities),
+            predicted_fidelities=predicted,
         )

@@ -1,0 +1,195 @@
+"""QEC-encoded backend variants: serve logical queries at a code distance.
+
+Wraps any :class:`repro.backends.protocol.QRAMBackend` in the spec-level
+resource and fidelity model of Sec. 8.3 so an elastic fleet can mix bare
+and encoded replicas:
+
+* **fidelity** — the wrapped architecture's Sec. 8.1 bound evaluated at
+  the *logical* error rates of
+  :func:`repro.fidelity.qec.encoded_parameters` (the threshold scaling
+  ``p_L = A (p / p_th)^((d+1)/2)``), so an encoded replica predicts far
+  higher slot fidelities than its bare twin;
+* **resources** — every physical qubit becomes an ``[[m, 1, d]]`` logical
+  qubit (``m = d^2`` for the assumed surface-code-like family), so the
+  qubit count scales by ``m``;
+* **timing** — the Table-5 pipelined-logical-query model: each raw layer
+  stretches by the syndrome-extraction depth ``D`` and a logical query
+  trails its ``m`` pipelined physical address qubits, giving per-slot
+  latency ``D * t + m`` and logical parallelism ``max(1, parallelism / m)``
+  (``D log2(N) + m`` and ``floor(log2(N) / m)`` for Fat-Tree, Table 5).
+
+Encoded replicas report their *predicted* fidelity on functional windows
+too: the gate-level executors simulate the bare circuit, whose measured
+fidelity says nothing about the logical encoding; outputs still pass
+through so functional serving keeps returning amplitudes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.backends.noise import PredictedFidelityMixin
+from repro.backends.protocol import WindowResult
+from repro.core.query import QueryRequest
+from repro.fidelity.qec import DEFAULT_THRESHOLD, QECCode, encoded_parameters
+
+__all__ = ["EncodedBackend", "encoded_backend_name", "parse_encoded_name"]
+
+#: Suffix separator of encoded architecture names: ``"Fat-Tree@d3"``.
+_DISTANCE_SEPARATOR = "@d"
+
+
+def encoded_backend_name(architecture: str, distance: int) -> str:
+    """The registry name of an encoded variant: ``"<architecture>@d<k>"``."""
+    return f"{architecture}{_DISTANCE_SEPARATOR}{distance}"
+
+
+def parse_encoded_name(name: str) -> tuple[str, int]:
+    """Split ``"<architecture>@d<k>"`` into ``(architecture, distance)``.
+
+    A bare architecture name parses as distance 1 (no encoding).
+
+    Raises:
+        ValueError: for a malformed distance suffix (``"@d"`` present but
+            not followed by a positive integer).
+    """
+    base, separator, suffix = name.rpartition(_DISTANCE_SEPARATOR)
+    if not separator:
+        return name, 1
+    try:
+        distance = int(suffix)
+    except ValueError:
+        raise ValueError(
+            f"malformed encoded architecture name {name!r}; expected "
+            f"'<architecture>{_DISTANCE_SEPARATOR}<distance>'"
+        ) from None
+    if distance < 1:
+        raise ValueError(f"code distance must be >= 1, got {distance}")
+    return base, distance
+
+
+class EncodedBackend(PredictedFidelityMixin):
+    """A QEC-encoded replica of any serving backend.
+
+    Args:
+        backend: the bare backend to encode (any
+            :class:`~repro.backends.protocol.QRAMBackend`).
+        distance: code distance ``d`` (>= 2; use the bare backend for
+            ``d = 1``).
+        code: override the assumed ``[[d^2, 1, d]]`` surface-code-like
+            code (controls ``m`` and the syndrome depth ``D``).
+        threshold: threshold error rate of the code family.
+    """
+
+    def __init__(
+        self,
+        backend,
+        distance: int,
+        code: QECCode | None = None,
+        threshold: float = DEFAULT_THRESHOLD,
+    ) -> None:
+        if distance < 2:
+            raise ValueError(
+                "EncodedBackend needs distance >= 2; distance 1 is the bare backend"
+            )
+        self.backend = backend
+        self.distance = distance
+        self.code = (
+            code
+            if code is not None
+            else QECCode(physical_qubits=distance * distance, distance=distance)
+        )
+        if self.code.distance != distance:
+            raise ValueError("code distance must match the requested distance")
+        self.threshold = threshold
+        self.name = encoded_backend_name(backend.name, distance)
+        self.parameters = encoded_parameters(
+            backend.parameters, distance, threshold
+        )
+
+    # -------------------------------------------------------------- structure
+    @property
+    def capacity(self) -> int:
+        return self.backend.capacity
+
+    @property
+    def address_width(self) -> int:
+        return self.backend.address_width
+
+    @property
+    def query_parallelism(self) -> int:
+        """Logical parallelism: ``m`` pipelined physical queries make one
+        logical query (Table 5), never below 1."""
+        return max(1, self.backend.query_parallelism // self.code.physical_qubits)
+
+    @property
+    def qubit_count(self) -> int:
+        return self.code.physical_qubits * self.backend.qubit_count
+
+    @property
+    def data(self) -> list[int]:
+        return self.backend.data
+
+    def write_memory(self, address: int, value: int) -> None:
+        self.backend.write_memory(address, value)
+
+    # ----------------------------------------------------------------- timing
+    def minimum_feasible_interval(self, num_queries: int = 2) -> int:
+        return self.code.syndrome_depth * self.backend.minimum_feasible_interval(
+            num_queries
+        )
+
+    def single_query_latency(self) -> float:
+        return (
+            self.code.syndrome_depth * self.backend.single_query_latency()
+            + self.code.physical_qubits
+        )
+
+    def amortized_query_latency(self, num_queries: int | None = None) -> float:
+        return (
+            self.code.syndrome_depth * self.backend.amortized_query_latency(num_queries)
+            + self.code.physical_qubits
+        )
+
+    def _window_offsets(
+        self, batch_size: int
+    ) -> tuple[int, float, tuple[float, ...], tuple[float, ...]]:
+        depth = self.code.syndrome_depth
+        trailer = self.code.physical_qubits
+        interval, total, starts, finishes = self.backend._window_offsets(batch_size)
+        return (
+            depth * interval,
+            depth * total + trailer,
+            tuple(depth * start for start in starts),
+            tuple(depth * finish + trailer for finish in finishes),
+        )
+
+    # --------------------------------------------------------------- fidelity
+    def _infidelity_bounds(
+        self, parameters
+    ) -> tuple[float, float]:
+        """The bare architecture's bounds, evaluated at the logical error
+        rates this wrapper derived at construction."""
+        return self.backend._infidelity_bounds(parameters)
+
+    # -------------------------------------------------------------- execution
+    def run_window(
+        self, requests: Sequence[QueryRequest], functional: bool = True
+    ) -> WindowResult:
+        if not requests:
+            raise ValueError("a window requires at least one request")
+        interval, total, starts, finishes = self._window_offsets(len(requests))
+        predicted = self.predicted_window_fidelities(len(requests))
+        if functional:
+            outputs = self.backend.run_window(requests, functional=True).outputs
+        else:
+            outputs = (None,) * len(requests)
+        return WindowResult(
+            interval=interval,
+            total_layers=total,
+            start_offsets=starts,
+            finish_offsets=finishes,
+            outputs=outputs,
+            fidelities=predicted,
+            predicted_fidelities=predicted,
+        )

@@ -4,25 +4,31 @@ Wraps :class:`repro.core.qram.FatTreeQRAM` (and its memoized gate-level
 executor) behind the :class:`repro.backends.protocol.QRAMBackend` surface.
 A window of ``k <= log2(N)`` queries is admitted at the executor's minimum
 feasible interval and drains in ``(k - 1) * interval + lifetime`` raw
-layers — the paper's query-level pipelining.
+layers — the paper's query-level pipelining.  Every slot carries a
+predicted fidelity from the Sec. 8.1 bound evaluated at the backend's
+:class:`~repro.hardware.parameters.HardwareParameters`, degraded by the
+slot's pipelining overlap (:mod:`repro.backends.noise`).
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.backends.noise import PredictedFidelityMixin, fat_tree_bounds
 from repro.backends.protocol import WindowResult
 from repro.core.qram import FatTreeQRAM
 from repro.core.query import QueryRequest
+from repro.hardware.parameters import DEFAULT_PARAMETERS, HardwareParameters
 
 
-class FatTreeBackend:
+class FatTreeBackend(PredictedFidelityMixin):
     """Serves traffic through one Fat-Tree QRAM.
 
     Args:
         capacity: memory size ``N`` (power of two >= 2).
         data: optional classical memory contents.
         qram: adopt an existing :class:`FatTreeQRAM` instead of building one.
+        parameters: noise model used for the predicted slot fidelities.
     """
 
     name = "Fat-Tree"
@@ -32,8 +38,10 @@ class FatTreeBackend:
         capacity: int,
         data: Sequence[int] | None = None,
         qram: FatTreeQRAM | None = None,
+        parameters: HardwareParameters = DEFAULT_PARAMETERS,
     ) -> None:
         self.qram = qram if qram is not None else FatTreeQRAM(capacity, data)
+        self.parameters = parameters
 
     # -------------------------------------------------------------- structure
     @property
@@ -73,6 +81,23 @@ class FatTreeBackend:
     def amortized_query_latency(self, num_queries: int | None = None) -> float:
         return self.qram.amortized_query_latency(num_queries)
 
+    def _window_offsets(
+        self, batch_size: int
+    ) -> tuple[int, float, tuple[float, ...], tuple[float, ...]]:
+        executor = self.qram.cached_executor()
+        interval = executor.minimum_feasible_interval(batch_size)
+        lifetime = executor.relative_raw_latency()
+        starts = tuple(float(slot * interval + 1) for slot in range(batch_size))
+        finishes = tuple(start + lifetime - 1 for start in starts)
+        total = float((batch_size - 1) * interval + lifetime)
+        return interval, total, starts, finishes
+
+    # --------------------------------------------------------------- fidelity
+    def _infidelity_bounds(
+        self, parameters: HardwareParameters
+    ) -> tuple[float, float]:
+        return fat_tree_bounds(self.capacity, parameters)
+
     # -------------------------------------------------------------- execution
     def run_window(
         self, requests: Sequence[QueryRequest], functional: bool = True
@@ -85,23 +110,21 @@ class FatTreeBackend:
         """
         if not requests:
             raise ValueError("a window requires at least one request")
-        executor = self.qram.cached_executor()
-        interval = executor.minimum_feasible_interval(len(requests))
-        lifetime = executor.relative_raw_latency()
-        starts = tuple(float(slot * interval + 1) for slot in range(len(requests)))
-        finishes = tuple(start + lifetime - 1 for start in starts)
+        interval, total, starts, finishes = self._window_offsets(len(requests))
+        predicted = self.predicted_window_fidelities(len(requests))
 
         if not functional:
-            total = float((len(requests) - 1) * interval + lifetime)
             return WindowResult(
                 interval=interval,
                 total_layers=total,
                 start_offsets=starts,
                 finish_offsets=finishes,
                 outputs=(None,) * len(requests),
-                fidelities=(None,) * len(requests),
+                fidelities=predicted,
+                predicted_fidelities=predicted,
             )
 
+        executor = self.qram.cached_executor()
         local = [
             QueryRequest(
                 query_id=slot,
@@ -123,4 +146,5 @@ class FatTreeBackend:
                 executor.query_fidelity(local[slot], outputs[slot])
                 for slot in range(len(requests))
             ),
+            predicted_fidelities=predicted,
         )

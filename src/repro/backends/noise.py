@@ -1,0 +1,163 @@
+"""Predicted query fidelity for serving backends (Sec. 8.1 bounds, pipelined).
+
+Gate-level execution only reports a *measured* fidelity when a window runs
+functionally; timing-only serving used to report ``None`` and the serving
+stack was blind to quality-of-result.  This module turns the paper's
+analytic noise-resilience bounds into a *prediction* every backend can
+attach to every slot of every window:
+
+* the per-architecture base infidelity is the Sec. 8.1 bound evaluated at
+  the backend's :class:`~repro.hardware.parameters.HardwareParameters`
+  (``2 log2(N)^2 (eps0 + eps1 + eps2)`` for Fat-Tree, without ``eps2`` for
+  BB; Virtual accumulates the per-page BB bound plus one MCX select error
+  per page access);
+* pipelining-depth degradation: a slot that shares the tree with other
+  in-flight queries accrues crosstalk through the shared routers.  Each
+  neighbour contributes its residency overlap fraction times a crosstalk
+  bound of the same ``2 n^2`` form as the base, charged to the channel the
+  concurrent streams actually share — the intra-node SWAP channel
+  (``eps2``) for Fat-Tree's pipelined levels, the inter-node SWAP channel
+  (``eps1``) for the BB-based architectures.  A lone query (batch size 1)
+  reproduces the Table 3 bound exactly, and a sequential backend (BB)
+  never overlaps, so its slots never degrade.
+
+QEC-encoded variants (:mod:`repro.backends.encoded`) evaluate the same
+expressions at the logical error rates of
+:func:`repro.fidelity.qec.encoded_parameters`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.bucket_brigade.tree import validate_capacity
+from repro.fidelity.noise_resilience import (
+    bb_query_infidelity,
+    fat_tree_query_infidelity,
+)
+from repro.hardware.parameters import DEFAULT_PARAMETERS, HardwareParameters
+
+__all__ = [
+    "PredictedFidelityMixin",
+    "bb_bounds",
+    "fat_tree_bounds",
+    "pipelined_fidelities",
+    "virtual_bounds",
+]
+
+
+def fat_tree_bounds(
+    capacity: int, parameters: HardwareParameters
+) -> tuple[float, float]:
+    """(base, per-neighbour crosstalk) infidelity bounds for Fat-Tree.
+
+    The crosstalk bound charges one fully-overlapping in-flight neighbour
+    the intra-node SWAP channel at the bound's ``2 n^2`` prefactor: the
+    pipelined levels are exactly where concurrent queries share routers.
+    """
+    n = validate_capacity(capacity)
+    base = fat_tree_query_infidelity(capacity, parameters)
+    crosstalk = min(1.0, 2.0 * n * n * parameters.intra_node_swap_error)
+    return base, crosstalk
+
+
+def bb_bounds(capacity: int, parameters: HardwareParameters) -> tuple[float, float]:
+    """(base, per-neighbour crosstalk) infidelity bounds for BB-type QRAMs."""
+    n = validate_capacity(capacity)
+    base = bb_query_infidelity(capacity, parameters)
+    crosstalk = min(1.0, 2.0 * n * n * parameters.inter_node_swap_error)
+    return base, crosstalk
+
+
+def virtual_bounds(
+    capacity: int,
+    num_pages: int,
+    page_size: int,
+    parameters: HardwareParameters,
+) -> tuple[float, float]:
+    """(base, per-neighbour crosstalk) infidelity bounds for Virtual QRAM.
+
+    A query is ``num_pages`` sequential page accesses, each a page-sized BB
+    query plus one MCX page select (charged one CSWAP-equivalent error).
+    """
+    m = validate_capacity(page_size)
+    per_page = bb_query_infidelity(page_size, parameters) + parameters.cswap_error
+    base = min(1.0, num_pages * per_page)
+    crosstalk = min(
+        1.0, num_pages * 2.0 * m * m * parameters.inter_node_swap_error
+    )
+    return base, crosstalk
+
+
+def pipelined_fidelities(
+    base_infidelity: float,
+    crosstalk_infidelity: float,
+    start_offsets: Sequence[float],
+    finish_offsets: Sequence[float],
+) -> tuple[float, ...]:
+    """Per-slot predicted fidelity of one window from its slot offsets.
+
+    Slot ``s`` predicts ``1 - min(1, base + crosstalk * overlap_s)`` where
+    ``overlap_s`` sums, over every other slot, the fraction of slot ``s``'s
+    residency it spends coexisting with that slot in the hardware.
+    """
+    count = len(start_offsets)
+    fidelities = []
+    for s in range(count):
+        duration = finish_offsets[s] - start_offsets[s] + 1
+        overlap = 0.0
+        for o in range(count):
+            if o == s:
+                continue
+            shared = (
+                min(finish_offsets[s], finish_offsets[o])
+                - max(start_offsets[s], start_offsets[o])
+                + 1
+            )
+            if shared > 0:
+                overlap += shared / duration
+        infidelity = min(1.0, base_infidelity + crosstalk_infidelity * overlap)
+        fidelities.append(1.0 - infidelity)
+    return tuple(fidelities)
+
+
+class PredictedFidelityMixin:
+    """Shared predicted-fidelity surface of every serving backend.
+
+    Concrete backends provide ``_window_offsets(batch_size)`` — the same
+    timing model ``run_window`` uses, as ``(interval, total_layers,
+    start_offsets, finish_offsets)`` — and ``_infidelity_bounds(parameters)``
+    returning the ``(base, crosstalk)`` pair of their architecture under a
+    given noise model (encoded variants pass logical error rates through
+    the same hook).
+    Predictions are memoized per batch size: the noise model of a backend
+    is fixed at construction, so a window shape predicts once.
+    """
+
+    #: Noise model the predictions are evaluated at (set by subclasses).
+    parameters: HardwareParameters = DEFAULT_PARAMETERS
+
+    def _window_offsets(
+        self, batch_size: int
+    ) -> tuple[int, float, tuple[float, ...], tuple[float, ...]]:
+        raise NotImplementedError
+
+    def _infidelity_bounds(
+        self, parameters: HardwareParameters
+    ) -> tuple[float, float]:
+        raise NotImplementedError
+
+    def predicted_window_fidelities(self, batch_size: int = 1) -> tuple[float, ...]:
+        """Analytic per-slot fidelity of a window of ``batch_size`` queries."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        cache = self.__dict__.setdefault("_predicted_fidelity_cache", {})
+        if batch_size not in cache:
+            _, _, starts, finishes = self._window_offsets(batch_size)
+            base, crosstalk = self._infidelity_bounds(self.parameters)
+            cache[batch_size] = pipelined_fidelities(base, crosstalk, starts, finishes)
+        return cache[batch_size]
+
+    def predicted_query_fidelity(self) -> float:
+        """Analytic fidelity of a lone query (the Sec. 8.1 / Table 3 bound)."""
+        return self.predicted_window_fidelities(1)[0]

@@ -44,8 +44,13 @@ class WindowResult:
         finish_offsets: per-slot finish layer, relative to window admission.
         outputs: per-slot output amplitudes over ``(address, bus)`` pairs,
             or ``None`` per slot for timing-only execution.
-        fidelities: per-slot ``|<ideal|actual>|^2`` (``None`` when
-            timing-only).
+        fidelities: per-slot ``|<ideal|actual>|^2`` measured on a functional
+            run; on timing-only runs backends report the analytic
+            *predicted* fidelity here instead of ``None``.
+        predicted_fidelities: per-slot analytic fidelity prediction from the
+            backend's noise model (:mod:`repro.backends.noise`) — populated
+            on functional and timing-only runs alike; defaults to mirroring
+            ``fidelities`` for hand-built results.
     """
 
     interval: int
@@ -54,13 +59,17 @@ class WindowResult:
     finish_offsets: tuple[float, ...]
     outputs: tuple[dict[tuple[int, int], complex] | None, ...]
     fidelities: tuple[float | None, ...]
+    predicted_fidelities: tuple[float | None, ...] = ()
 
     def __post_init__(self) -> None:
+        if not self.predicted_fidelities:
+            object.__setattr__(self, "predicted_fidelities", self.fidelities)
         sizes = {
             len(self.start_offsets),
             len(self.finish_offsets),
             len(self.outputs),
             len(self.fidelities),
+            len(self.predicted_fidelities),
         }
         if len(sizes) != 1:
             raise ValueError("per-slot fields must have equal lengths")
@@ -110,6 +119,15 @@ class QRAMBackend(Protocol):
 
     def minimum_feasible_interval(self, num_queries: int = 2) -> int:
         """Smallest conflict-free admission spacing, in raw layers."""
+        ...
+
+    def predicted_query_fidelity(self) -> float:
+        """Analytic fidelity of a lone query under the backend's noise model."""
+        ...
+
+    def predicted_window_fidelities(self, batch_size: int = 1) -> tuple[float, ...]:
+        """Analytic per-slot fidelity of a window of ``batch_size`` queries,
+        including pipelining-depth degradation."""
         ...
 
     def run_window(

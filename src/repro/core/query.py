@@ -42,6 +42,12 @@ class QueryRequest:
             (``None`` for best-effort requests).  Drives the EDF admission
             policy and the deadline-miss / shed accounting of the serving
             engine.
+        min_fidelity: lowest acceptable predicted query fidelity in
+            ``(0, 1]`` (``None`` for best-effort requests).  The serving
+            engine rejects the request when no placement — optionally
+            boosted by virtual distillation — can meet the target, and
+            counts served slots whose predicted fidelity falls short as
+            fidelity-SLO misses.
     """
 
     query_id: int
@@ -51,6 +57,7 @@ class QueryRequest:
     initial_bus: int = 0
     priority: int = 0
     deadline: float | None = None
+    min_fidelity: float | None = None
 
 
 @dataclass

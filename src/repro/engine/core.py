@@ -22,10 +22,20 @@ shared memory under live contention needs:
   ``policy="edf"``), bounded per-shard queues that reject on overflow, and
   optional shedding of queued requests whose deadline already expired, all
   surfaced in :class:`repro.metrics.service_stats.ServiceStats`;
+* **fidelity-aware admission** — per-request ``min_fidelity`` targets
+  checked against every backend's *predicted* slot fidelity
+  (:mod:`repro.backends.noise`): replicated placement prefers a shard that
+  can meet the target (an encoded replica in a mixed fleet), infeasible
+  requests are refused with :data:`REJECT_FIDELITY`, an optional
+  virtual-distillation retry spends up to ``max_distillation_copies``
+  parallel copies (Sec. 8.2) to lift a shard over the target with the
+  copies' layer cost charged to the window, and batches are capped so
+  pipelining-depth degradation never drags an admitted slot below its SLO;
 * **elastic fleets** — an :class:`AutoscalerConfig` adds or retires
   full-memory replicas (built through
-  :func:`repro.baselines.registry.build_backend`) from queue-depth
-  watermarks, rebalancing queued work onto fresh replicas.
+  :func:`repro.baselines.registry.build_backend`; encoded variants by
+  ``"<architecture>@d<k>"`` name) from queue-depth watermarks, rebalancing
+  queued work onto fresh replicas.
 """
 
 from __future__ import annotations
@@ -43,8 +53,10 @@ from repro.engine.events import (
     WindowStart,
 )
 from repro.engine.workload import WorkloadSource
+from repro.fidelity.distillation import distilled_infidelity
 from repro.metrics.service_stats import (
     REJECT_DEADLINE_EXPIRED,
+    REJECT_FIDELITY,
     REJECT_QUEUE_FULL,
     RejectedQuery,
     ScaleEvent,
@@ -53,6 +65,14 @@ from repro.metrics.service_stats import (
     WindowRecord,
     summarize_service,
 )
+
+
+def _distilled(fidelity: float, copies: int) -> float:
+    """Predicted fidelity after virtual distillation with ``copies`` copies
+    (identity at 1 copy; the paper's leading-order ``eps^k`` suppression)."""
+    if copies <= 1:
+        return fidelity
+    return 1.0 - distilled_infidelity(1.0 - fidelity, copies)
 
 
 @dataclass(frozen=True)
@@ -138,11 +158,17 @@ class ServiceEngine:
         max_queue_depth: bound on every per-shard queue; arrivals that find
             their queue full are rejected (backpressure).  ``None``
             disables the bound.
-        shed_expired: when True, queued requests whose deadline has already
-            passed are shed (never executed) at the next window admission
-            on their shard.
+        shed_expired: when True, queued requests that can no longer finish
+            by their deadline (``deadline <= now`` — any execution takes at
+            least one layer) are shed (never executed) at the next window
+            admission on their shard.
         autoscaler: elastic-fleet configuration; requires
             ``placement="shortest-queue"``.
+        max_distillation_copies: most parallel copies the engine may spend
+            per query on virtual distillation (Sec. 8.2) to reach the
+            query's ``min_fidelity``; each extra copy consumes one window
+            slot and one admission interval of backend time.  1 disables
+            the retry.
     """
 
     def __init__(
@@ -152,9 +178,12 @@ class ServiceEngine:
         max_queue_depth: int | None = None,
         shed_expired: bool = False,
         autoscaler: AutoscalerConfig | None = None,
+        max_distillation_copies: int = 1,
     ) -> None:
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
+        if max_distillation_copies < 1:
+            raise ValueError("max_distillation_copies must be >= 1")
         if autoscaler is not None:
             placement = getattr(fleet, "placement", None)
             if placement != "shortest-queue":
@@ -172,6 +201,7 @@ class ServiceEngine:
         self.max_queue_depth = max_queue_depth
         self.shed_expired = shed_expired
         self.autoscaler = autoscaler
+        self.max_distillation_copies = max_distillation_copies
 
     # ------------------------------------------------------------------ run
     def run(self, source: WorkloadSource, clops: float = 1.0e6) -> ServiceReport:
@@ -194,6 +224,7 @@ class ServiceEngine:
         self._max_depth = {shard: 0 for shard in range(num_shards)}
         self._seen_ids: set[int] = set()
         self._local_amps: dict[int, dict[int, complex]] = {}
+        self._copies: dict[int, int] = {}
         self._served: list[ServedQuery] = []
         self._windows: list[WindowRecord] = []
         self._outputs: dict[int, dict[tuple[int, int], complex]] = {}
@@ -268,17 +299,80 @@ class ServiceEngine:
         self._seen_ids.add(request.query_id)
         if request.address_amplitudes is None:
             raise ValueError("service requests require address amplitudes")
+        if request.min_fidelity is not None and not 0.0 < request.min_fidelity <= 1.0:
+            raise ValueError("min_fidelity must be in (0, 1]")
         shard, local = self.fleet.shard_map.route(request.address_amplitudes)
         if shard == ANY_SHARD:
-            shard = self._shortest_queue(now)
+            # Fidelity-aware placement: replicated shards all hold the full
+            # memory, so prefer the shortest queue among the replicas that
+            # can meet the request's fidelity SLO (with distillation if
+            # allowed) — in a mixed fleet that is how SLO-carrying traffic
+            # lands on the encoded replicas.
+            candidates = self._active_shards()
+            if request.min_fidelity is not None:
+                candidates = [
+                    s for s in candidates
+                    if self._feasible_copies(s, request) is not None
+                ]
+            if not candidates:
+                self._reject(request, self._shortest_queue(now), now, REJECT_FIDELITY)
+                return
+            shard = self._shortest_queue(now, candidates)
+        copies = self._feasible_copies(shard, request)
+        if copies is None:
+            self._reject(request, shard, now, REJECT_FIDELITY)
+            return
         queue = self._queues[shard]
         if self.max_queue_depth is not None and len(queue) >= self.max_queue_depth:
             self._reject(request, shard, now, REJECT_QUEUE_FULL)
             return
+        self._copies[request.query_id] = copies
         self._local_amps[request.query_id] = local
         queue.append(request)
         self._max_depth[shard] = max(self._max_depth[shard], len(queue))
         self._maybe_start(shard, now)
+
+    def _feasible_copies(self, shard: int, request: QueryRequest) -> int | None:
+        """Fewest parallel copies that lift the shard's predicted fidelity
+        over the request's SLO (1 without an SLO or when the bare prediction
+        already suffices); ``None`` when even the most copies the engine may
+        spend cannot reach the target.
+
+        The copies are modelled as what they are — extra pipelined
+        admissions — so ``k`` copies distill the *worst slot* of a
+        ``k``-query window, not the lone-query bound: spending more copies
+        also costs more crosstalk, and both sides of that trade-off are in
+        the check.
+        """
+        if request.min_fidelity is None:
+            return 1
+        backend = self._backends[shard]
+        most = min(self.max_distillation_copies, self._window_sizes[shard])
+        for copies in range(1, most + 1):
+            worst = min(backend.predicted_window_fidelities(copies))
+            if _distilled(worst, copies) >= request.min_fidelity:
+                return copies
+        return None
+
+    def _batch_predictions(self, shard: int, batch: list[QueryRequest]) -> list[float]:
+        """Per-request predicted fidelity of one window, copies included.
+
+        Distillation copies are extra pipelined admissions sharing the
+        window (they are also charged that way in ``_execute_window``), so
+        the window is predicted at its full occupancy — ``sum(copies)``
+        slots — request ``j`` owning the contiguous slot run of its copies.
+        Each request's prediction is its worst copy slot, distilled.
+        """
+        backend = self._backends[shard]
+        copies = [self._copies.get(r.query_id, 1) for r in batch]
+        expanded = backend.predicted_window_fidelities(sum(copies))
+        predictions = []
+        offset = 0
+        for count in copies:
+            worst = min(expanded[offset:offset + count])
+            predictions.append(_distilled(worst, count))
+            offset += count
+        return predictions
 
     def _reject(
         self, request: QueryRequest, shard: int, now: float, reason: str
@@ -292,6 +386,7 @@ class ServiceEngine:
             time=now,
             reason=reason,
             deadline=request.deadline,
+            min_fidelity=request.min_fidelity,
         )
         self._rejected.append(record)
         self._source.on_rejection(self, record)
@@ -315,15 +410,63 @@ class ServiceEngine:
         if self.shed_expired and queue:
             kept: list[QueryRequest] = []
             for request in queue:
-                if request.deadline is not None and request.deadline < now:
+                # A request whose deadline is exactly `now` can no longer
+                # finish on time (execution takes at least one layer), so
+                # the boundary sheds — matching `missed_deadline`, which
+                # only forgives finish_layer <= deadline.
+                if request.deadline is not None and request.deadline <= now:
                     self._reject(request, shard, now, REJECT_DEADLINE_EXPIRED)
                 else:
+                    kept.append(request)
+            queue[:] = kept
+        if any(request.min_fidelity is not None for request in queue):
+            # Re-validate fidelity SLOs against *this* shard: rebalancing
+            # may have migrated a request admitted elsewhere.  A request
+            # this shard cannot serve is refused rather than silently run
+            # below its target; feasible ones get their copy count pinned
+            # to this shard's prediction.
+            kept = []
+            for request in queue:
+                copies = self._feasible_copies(shard, request)
+                if copies is None:
+                    self._reject(request, shard, now, REJECT_FIDELITY)
+                else:
+                    self._copies[request.query_id] = copies
                     kept.append(request)
             queue[:] = kept
         if not queue:
             return
         batch = self.fleet.policy.select(queue, self._window_sizes[shard], now)
+        batch = self._cap_batch_for_fidelity(shard, batch, queue)
         self._execute_window(shard, batch, now)
+
+    def _cap_batch_for_fidelity(
+        self, shard: int, batch: list[QueryRequest], queue: list[QueryRequest]
+    ) -> list[QueryRequest]:
+        """Shrink a selected batch until every fidelity SLO in it is met.
+
+        Two window-level effects can break a per-query feasible admission:
+        pipelining-depth degradation (a full window predicts lower slot
+        fidelities than a lone query) and the distillation copies of the
+        batched queries overflowing the window's parallelism.  Dropping the
+        last-admitted request back to the queue head restores both
+        invariants; a batch of one is always feasible by admission.
+        """
+        if all(request.min_fidelity is None for request in batch):
+            return batch
+        limit = self._window_sizes[shard]
+        while len(batch) > 1:
+            occupancy = sum(self._copies.get(r.query_id, 1) for r in batch)
+            predicted = self._batch_predictions(shard, batch)
+            feasible = occupancy <= limit and all(
+                request.min_fidelity is None
+                or predicted[slot] >= request.min_fidelity
+                for slot, request in enumerate(batch)
+            )
+            if feasible:
+                break
+            queue.insert(0, batch.pop())
+        return batch
 
     def _execute_window(
         self, shard: int, batch: list[QueryRequest], admit: float
@@ -348,12 +491,15 @@ class ServiceEngine:
             for request in batch
         ]
         result = backend.run_window(local_requests, functional=self.fleet.functional)
+        predictions = self._batch_predictions(shard, batch)
 
         for slot, request in enumerate(batch):
             if result.outputs[slot] is not None:
                 self._outputs[request.query_id] = self.fleet.shard_map.to_global_outputs(
                     shard, result.outputs[slot]
                 )
+            copies = self._copies.get(request.query_id, 1)
+            slot_fidelity = result.fidelities[slot]
             record = ServedQuery(
                 query_id=request.query_id,
                 tenant=request.qpu,
@@ -362,33 +508,47 @@ class ServiceEngine:
                 admit_layer=admit,
                 start_layer=admit + result.start_offsets[slot],
                 finish_layer=admit + result.finish_offsets[slot],
-                fidelity=result.fidelities[slot],
+                # Distillation delivers the distilled state: its suppression
+                # applies to the slot's quality, measured or predicted.
+                fidelity=(
+                    None
+                    if slot_fidelity is None
+                    else _distilled(slot_fidelity, copies)
+                ),
                 architecture=backend.name,
                 deadline=request.deadline,
+                predicted_fidelity=predictions[slot],
+                min_fidelity=request.min_fidelity,
+                distillation_copies=copies,
             )
             self._served.append(record)
             self._source.on_completion(self, record)
+        # Distillation copies are extra admissions into the same window:
+        # each one keeps the backend busy for one more admission interval.
+        extra_copies = sum(self._copies.get(r.query_id, 1) - 1 for r in batch)
+        total_layers = result.total_layers + float(extra_copies * result.interval)
         self._windows.append(
             WindowRecord(
                 shard=shard,
                 admit_layer=admit,
                 batch_size=len(batch),
                 interval=result.interval,
-                total_layers=result.total_layers,
+                total_layers=total_layers,
                 architecture=backend.name,
             )
         )
-        self._busy_until[shard] = admit + result.total_layers
+        self._busy_until[shard] = admit + total_layers
         self._heap.push(self._busy_until[shard], WindowDrain(shard))
 
     # ------------------------------------------------------------- placement
     def _active_shards(self) -> list[int]:
         return [i for i in range(len(self._backends)) if self._active[i]]
 
-    def _shortest_queue(self, now: float) -> int:
-        """Least-loaded active shard: fewest queued, then earliest free."""
+    def _shortest_queue(self, now: float, shards: list[int] | None = None) -> int:
+        """Least-loaded shard among ``shards`` (default: all active):
+        fewest queued, then earliest free."""
         return min(
-            self._active_shards(),
+            self._active_shards() if shards is None else shards,
             key=lambda shard: (
                 len(self._queues[shard]),
                 max(self._busy_until[shard], now),
@@ -436,6 +596,7 @@ class ServiceEngine:
                 architecture,
                 self.fleet.shard_map.shard_capacity,
                 list(self._backends[0].data),
+                parameters=getattr(self.fleet, "parameters", None),
             )
             requested = getattr(self.fleet, "requested_window_size", None)
             window_size = (
@@ -465,10 +626,12 @@ class ServiceEngine:
     def _rebalance(self, now: float) -> None:
         """Even out queued (unadmitted) requests across active replicas.
 
-        Replicated shards all hold the full memory, so any queued request
-        can move; the newest request of the deepest queue migrates until
-        depths differ by at most one.  Shards that gained work start a
-        window if idle.
+        Replicated shards all hold the full memory, so a queued request can
+        move to any replica *that can meet its fidelity SLO* (a bare
+        replica must not inherit strict traffic from an encoded one): the
+        newest such request of the deepest queue migrates until depths
+        differ by at most one or nothing movable remains.  Shards that
+        gained work start a window if idle.
         """
         active = self._active_shards()
         while True:
@@ -476,7 +639,23 @@ class ServiceEngine:
             shallowest = min(active, key=lambda s: (len(self._queues[s]), s))
             if len(self._queues[deepest]) - len(self._queues[shallowest]) <= 1:
                 break
-            self._queues[shallowest].append(self._queues[deepest].pop())
+            queue = self._queues[deepest]
+            movable = next(
+                (
+                    index
+                    for index in range(len(queue) - 1, -1, -1)
+                    if self._feasible_copies(shallowest, queue[index]) is not None
+                ),
+                None,
+            )
+            if movable is None:
+                break
+            request = queue.pop(movable)
+            if request.min_fidelity is not None:
+                self._copies[request.query_id] = self._feasible_copies(
+                    shallowest, request
+                )
+            self._queues[shallowest].append(request)
             self._max_depth[shallowest] = max(
                 self._max_depth[shallowest], len(self._queues[shallowest])
             )

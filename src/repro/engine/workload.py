@@ -92,6 +92,8 @@ class ClosedLoopClient:
         start_time: when the client issues its first request.
         deadline_layers: per-request relative deadline (absolute deadline =
             issue time + ``deadline_layers``); ``None`` for best-effort.
+        min_fidelity: per-request fidelity SLO carried by every query the
+            client issues; ``None`` for best-effort.
     """
 
     client_id: int
@@ -99,6 +101,7 @@ class ClosedLoopClient:
     think_layers: float
     start_time: float = 0.0
     deadline_layers: float | None = None
+    min_fidelity: float | None = None
 
     def __post_init__(self) -> None:
         if self.queries < 0:
@@ -170,6 +173,7 @@ class ClosedLoopSource(WorkloadSource):
             request_time=now,
             qpu=client_id,
             deadline=deadline,
+            min_fidelity=client.min_fidelity,
         )
 
     def on_completion(self, engine, record) -> None:

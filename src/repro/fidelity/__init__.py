@@ -23,6 +23,7 @@ from repro.fidelity.distillation import (
 from repro.fidelity.qec import (
     QECCode,
     encoded_infidelity,
+    encoded_parameters,
     fig11_series,
     logical_error_rate,
     table5_rows,
@@ -40,6 +41,7 @@ __all__ = [
     "QECCode",
     "logical_error_rate",
     "encoded_infidelity",
+    "encoded_parameters",
     "fig11_series",
     "table5_rows",
 ]

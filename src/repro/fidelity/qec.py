@@ -73,6 +73,32 @@ def logical_error_rate(
     return min(1.0, prefactor * (physical_error / threshold) ** exponent)
 
 
+def encoded_parameters(
+    parameters: HardwareParameters,
+    distance: int,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> HardwareParameters:
+    """Hardware parameters with every error rate replaced by its logical one.
+
+    ``distance <= 1`` is the unencoded passthrough: the physical parameters
+    are returned unchanged, so encoded expressions evaluated at ``d = 1``
+    reproduce the bare Sec. 8.1 bounds exactly.
+    """
+    if distance <= 1:
+        return parameters
+    return HardwareParameters(
+        cswap_time_us=parameters.cswap_time_us,
+        intra_node_swap_time_us=parameters.intra_node_swap_time_us,
+        cswap_error=logical_error_rate(parameters.cswap_error, distance, threshold),
+        inter_node_swap_error=logical_error_rate(
+            parameters.inter_node_swap_error, distance, threshold
+        ),
+        intra_node_swap_error=logical_error_rate(
+            parameters.intra_node_swap_error, distance, threshold
+        ),
+    )
+
+
 def encoded_infidelity(
     architecture: str,
     capacity: int,
@@ -83,22 +109,10 @@ def encoded_infidelity(
     """Query (or circuit) infidelity when every gate is encoded at ``distance``.
 
     The architecture-level infidelity expressions of Sec. 8.1 are reused with
-    the physical error rates replaced by logical ones.
+    the physical error rates replaced by logical ones; ``distance = 1`` is
+    the exact unencoded bound.
     """
-    scale = logical_error_rate(1.0, distance, threshold=threshold) if distance > 1 else 1.0
-    if distance > 1:
-        effective = HardwareParameters(
-            cswap_error=logical_error_rate(parameters.cswap_error, distance, threshold),
-            inter_node_swap_error=logical_error_rate(
-                parameters.inter_node_swap_error, distance, threshold
-            ),
-            intra_node_swap_error=logical_error_rate(
-                parameters.intra_node_swap_error, distance, threshold
-            ),
-        )
-    else:
-        effective = parameters
-    del scale
+    effective = encoded_parameters(parameters, distance, threshold)
     if architecture == "Fat-Tree":
         return fat_tree_query_infidelity(capacity, effective)
     if architecture == "BB":

@@ -23,6 +23,10 @@ from repro.metrics.spacetime import (
     table2_rows,
 )
 from repro.metrics.service_stats import (
+    REJECT_DEADLINE_EXPIRED,
+    REJECT_FIDELITY,
+    REJECT_QUEUE_FULL,
+    RejectedQuery,
     ServedQuery,
     ServiceStats,
     ShardStats,
@@ -43,6 +47,10 @@ __all__ = [
     "spacetime_volume_per_query",
     "classical_memory_swap_budget_us",
     "table2_rows",
+    "REJECT_DEADLINE_EXPIRED",
+    "REJECT_FIDELITY",
+    "REJECT_QUEUE_FULL",
+    "RejectedQuery",
     "ServedQuery",
     "ServiceStats",
     "ShardStats",

@@ -35,11 +35,20 @@ class ServedQuery:
         admit_layer: when the query's pipeline window was admitted.
         start_layer: first raw layer of the query inside its window.
         finish_layer: raw layer at which the query completed.
-        fidelity: |<ideal|actual>|^2 of the output register (None for
-            timing-only serving).
+        fidelity: quality of the slot's output register — the measured
+            ``|<ideal|actual>|^2`` on a functional run, the backend's
+            analytic prediction on a timing-only run (``None`` only for
+            hand-built records); when the engine spent distillation copies
+            on the query, the distilled suppression is already applied.
         architecture: architecture name of the serving backend.
         deadline: absolute raw layer the request had to finish by
             (``None`` for best-effort requests).
+        predicted_fidelity: the backend's analytic per-slot fidelity
+            prediction, after any virtual-distillation boost the engine
+            granted; drives the fidelity-SLO accounting.
+        min_fidelity: the request's fidelity SLO (``None`` best-effort).
+        distillation_copies: parallel copies the engine spent on the query
+            (1 = no distillation).
     """
 
     query_id: int
@@ -52,6 +61,9 @@ class ServedQuery:
     fidelity: float | None = None
     architecture: str = ""
     deadline: float | None = None
+    predicted_fidelity: float | None = None
+    min_fidelity: float | None = None
+    distillation_copies: int = 1
 
     @property
     def latency_layers(self) -> float:
@@ -68,10 +80,27 @@ class ServedQuery:
         """Whether the query finished after its deadline (False without one)."""
         return self.deadline is not None and self.finish_layer > self.deadline
 
+    @property
+    def missed_fidelity_slo(self) -> bool:
+        """Whether the slot's predicted fidelity fell short of the SLO.
+
+        Falls back to the observed ``fidelity`` when no prediction was
+        recorded; False for best-effort requests.
+        """
+        if self.min_fidelity is None:
+            return False
+        achieved = (
+            self.predicted_fidelity
+            if self.predicted_fidelity is not None
+            else self.fidelity
+        )
+        return achieved is not None and achieved < self.min_fidelity
+
 
 #: Reason codes carried by :class:`RejectedQuery` records.
 REJECT_QUEUE_FULL = "queue-full"
 REJECT_DEADLINE_EXPIRED = "deadline-expired"
+REJECT_FIDELITY = "fidelity-infeasible"
 
 
 @dataclass(frozen=True)
@@ -84,9 +113,12 @@ class RejectedQuery:
         shard: shard whose queue the request was headed for.
         time: raw layer at which the rejection happened.
         reason: :data:`REJECT_QUEUE_FULL` (backpressure: the bounded queue
-            was full at arrival) or :data:`REJECT_DEADLINE_EXPIRED` (the
-            request was shed from the queue after its deadline passed).
+            was full at arrival), :data:`REJECT_DEADLINE_EXPIRED` (the
+            request was shed from the queue after its deadline passed) or
+            :data:`REJECT_FIDELITY` (no admissible placement could meet
+            the request's ``min_fidelity``, even with distillation).
         deadline: the request's deadline, if it carried one.
+        min_fidelity: the request's fidelity SLO, if it carried one.
     """
 
     query_id: int
@@ -95,6 +127,7 @@ class RejectedQuery:
     time: float
     reason: str
     deadline: float | None = None
+    min_fidelity: float | None = None
 
 
 @dataclass(frozen=True)
@@ -145,7 +178,13 @@ class TenantStats:
     ``deadline_miss_rate`` is computed over the tenant's SLO-carrying
     demand: served queries that had a deadline plus requests shed for an
     expired deadline (queue-full rejections are reported separately and do
-    not count as misses).
+    not count as misses).  ``fidelity_slo_miss_rate`` is the analogue for
+    fidelity SLOs: served queries carrying ``min_fidelity`` whose predicted
+    fidelity fell short, plus requests rejected as fidelity-infeasible (a
+    refused request is a guaranteed miss).  ``mean_fidelity`` /
+    ``min_fidelity`` summarize the non-``None`` fidelities of the tenant's
+    served queries and are ``None`` when every record was fidelity-less
+    (hand-built timing-only records).
     """
 
     tenant: int
@@ -157,11 +196,20 @@ class TenantStats:
     p95_latency_layers: float = 0.0
     deadline_misses: int = 0
     deadline_miss_rate: float = 0.0
+    mean_fidelity: float | None = None
+    min_fidelity: float | None = None
+    fidelity_slo_misses: int = 0
+    fidelity_slo_miss_rate: float = 0.0
 
 
 @dataclass(frozen=True)
 class ShardStats:
-    """Load placed on one shard."""
+    """Load placed on one shard.
+
+    ``mean_fidelity`` / ``min_fidelity`` / ``fidelity_slo_misses`` cover
+    the queries the shard actually served (refusals are accounted at the
+    tenant and service level).
+    """
 
     shard: int
     queries: int
@@ -171,6 +219,9 @@ class ShardStats:
     utilization: float
     max_queue_depth: int
     architecture: str = ""
+    mean_fidelity: float | None = None
+    min_fidelity: float | None = None
+    fidelity_slo_misses: int = 0
 
 
 @dataclass(frozen=True)
@@ -178,8 +229,10 @@ class BackendStats:
     """Aggregate load and serving quality of one backend architecture.
 
     In a heterogeneous fleet this is the cross-architecture comparison:
-    how many queries each architecture absorbed, at what latency, and how
-    long its shards stayed busy.
+    how many queries each architecture absorbed, at what latency and what
+    quality-of-result, and how long its shards stayed busy — with encoded
+    replicas (``"Fat-Tree@d3"``) reported under their own label, this is
+    where the bare-vs-encoded fidelity gap shows up.
     """
 
     architecture: str
@@ -191,6 +244,9 @@ class BackendStats:
     mean_queue_delay_layers: float
     busy_layers: float
     throughput_queries_per_sec: float
+    mean_fidelity: float | None = None
+    min_fidelity: float | None = None
+    fidelity_slo_misses: int = 0
 
 
 @dataclass(frozen=True)
@@ -213,14 +269,25 @@ class ServiceStats:
             interpolation between order statistics).
         offered_queries: total requests offered to the service (served plus
             rejected plus shed).
-        rejected_queries: requests refused at arrival (bounded queue full).
+        rejected_queries: requests refused at arrival (bounded queue full
+            or fidelity-infeasible); always ``len(rejected) - shed_queries``
+            and therefore never negative.
         shed_queries: requests dropped from a queue after their deadline
             expired.
+        fidelity_rejected_queries: the fidelity-infeasible subset of
+            ``rejected_queries``.
         deadline_misses: served queries that finished past their deadline,
             plus shed requests (a shed request is a guaranteed miss).
         deadline_miss_rate: ``deadline_misses`` over the SLO-carrying
             demand (served-with-deadline + shed); 0.0 when no request
             carried a deadline.
+        mean_fidelity / min_fidelity: mean and worst fidelity over the
+            served queries that carried one (``None`` when none did).
+        fidelity_slo_misses: served queries whose predicted fidelity fell
+            short of their ``min_fidelity``, plus fidelity-infeasible
+            rejections (a refused request is a guaranteed miss).
+        fidelity_slo_miss_rate: ``fidelity_slo_misses`` over the
+            fidelity-SLO-carrying demand; 0.0 when no request carried one.
     """
 
     total_queries: int
@@ -237,8 +304,13 @@ class ServiceStats:
     offered_queries: int = 0
     rejected_queries: int = 0
     shed_queries: int = 0
+    fidelity_rejected_queries: int = 0
     deadline_misses: int = 0
     deadline_miss_rate: float = 0.0
+    mean_fidelity: float | None = None
+    min_fidelity: float | None = None
+    fidelity_slo_misses: int = 0
+    fidelity_slo_miss_rate: float = 0.0
 
 
 def summarize_service(
@@ -277,13 +349,24 @@ def summarize_service(
     shed_by_tenant: dict[int, int] = {}
     for record in shed:
         shed_by_tenant[record.tenant] = shed_by_tenant.get(record.tenant, 0) + 1
+    fidelity_rejected = [r for r in rejected if r.reason == REJECT_FIDELITY]
+    fidelity_rejected_by_tenant: dict[int, int] = {}
+    for record in fidelity_rejected:
+        fidelity_rejected_by_tenant[record.tenant] = (
+            fidelity_rejected_by_tenant.get(record.tenant, 0) + 1
+        )
 
     per_tenant = {}
-    # Include tenants whose entire demand was shed: they served nothing but
-    # their misses must not vanish from the per-tenant view.
-    for tenant in sorted(set(by_tenant) | set(shed_by_tenant)):
+    # Include tenants whose entire demand was shed or refused: they served
+    # nothing but their misses must not vanish from the per-tenant view.
+    tenants = set(by_tenant) | set(shed_by_tenant) | set(fidelity_rejected_by_tenant)
+    for tenant in sorted(tenants):
         records = by_tenant.get(tenant, [])
         misses, miss_rate = _deadline_misses(records, shed_by_tenant.get(tenant, 0))
+        fidelity_mean, fidelity_min = _fidelity_summary(records)
+        slo_misses, slo_miss_rate = _fidelity_slo_misses(
+            records, fidelity_rejected_by_tenant.get(tenant, 0)
+        )
         per_tenant[tenant] = TenantStats(
             tenant=tenant,
             queries=len(records),
@@ -296,6 +379,10 @@ def summarize_service(
             p95_latency_layers=_percentile([r.latency_layers for r in records], 95),
             deadline_misses=misses,
             deadline_miss_rate=miss_rate,
+            mean_fidelity=fidelity_mean,
+            min_fidelity=fidelity_min,
+            fidelity_slo_misses=slo_misses,
+            fidelity_slo_miss_rate=slo_miss_rate,
         )
 
     windows_by_shard: dict[int, list[WindowRecord]] = {}
@@ -307,6 +394,7 @@ def summarize_service(
     for shard, records in sorted(by_shard.items()):
         shard_windows = windows_by_shard.get(shard, [])
         busy = sum(w.total_layers for w in shard_windows)
+        fidelity_mean, fidelity_min = _fidelity_summary(records)
         per_shard[shard] = ShardStats(
             shard=shard,
             queries=len(records),
@@ -316,11 +404,15 @@ def summarize_service(
             utilization=min(1.0, busy / makespan) if makespan > 0 else 0.0,
             max_queue_depth=depths.get(shard, 0),
             architecture=records[0].architecture,
+            mean_fidelity=fidelity_mean,
+            min_fidelity=fidelity_min,
+            fidelity_slo_misses=sum(1 for r in records if r.missed_fidelity_slo),
         )
 
     per_backend = {}
     for architecture, records in sorted(by_backend.items()):
         backend_windows = windows_by_backend.get(architecture, [])
+        fidelity_mean, fidelity_min = _fidelity_summary(records)
         per_backend[architecture] = BackendStats(
             architecture=architecture,
             shards=len({r.shard for r in records}),
@@ -331,10 +423,15 @@ def summarize_service(
             mean_queue_delay_layers=_mean([r.queue_delay_layers for r in records]),
             busy_layers=sum(w.total_layers for w in backend_windows),
             throughput_queries_per_sec=len(records) / seconds,
+            mean_fidelity=fidelity_mean,
+            min_fidelity=fidelity_min,
+            fidelity_slo_misses=sum(1 for r in records if r.missed_fidelity_slo),
         )
 
     latencies = [s.latency_layers for s in served]
     misses, miss_rate = _deadline_misses(served, len(shed))
+    fidelity_mean, fidelity_min = _fidelity_summary(served)
+    slo_misses, slo_miss_rate = _fidelity_slo_misses(served, len(fidelity_rejected))
     return ServiceStats(
         total_queries=len(served),
         makespan_layers=makespan,
@@ -350,8 +447,13 @@ def summarize_service(
         offered_queries=len(served) + len(rejected),
         rejected_queries=len(rejected) - len(shed),
         shed_queries=len(shed),
+        fidelity_rejected_queries=len(fidelity_rejected),
         deadline_misses=misses,
         deadline_miss_rate=miss_rate,
+        mean_fidelity=fidelity_mean,
+        min_fidelity=fidelity_min,
+        fidelity_slo_misses=slo_misses,
+        fidelity_slo_miss_rate=slo_miss_rate,
     )
 
 
@@ -383,4 +485,31 @@ def _deadline_misses(
     with_deadline = [s for s in served if s.deadline is not None]
     misses = sum(1 for s in with_deadline if s.missed_deadline) + shed_count
     demand = len(with_deadline) + shed_count
+    return misses, (misses / demand if demand else 0.0)
+
+
+def _fidelity_summary(
+    served: Sequence[ServedQuery],
+) -> tuple[float | None, float | None]:
+    """(mean, min) over the records carrying a fidelity; (None, None) when
+    every record is fidelity-less (hand-built timing-only records)."""
+    values = [s.fidelity for s in served if s.fidelity is not None]
+    if not values:
+        return None, None
+    return _mean(values), min(values)
+
+
+def _fidelity_slo_misses(
+    served: Sequence[ServedQuery], fidelity_rejected_count: int
+) -> tuple[int, float]:
+    """Fidelity-SLO misses and miss rate over the SLO-carrying demand.
+
+    A fidelity-infeasible rejection never produced a usable result and is
+    counted as a miss alongside served slots whose prediction fell short.
+    """
+    with_slo = [s for s in served if s.min_fidelity is not None]
+    misses = (
+        sum(1 for s in with_slo if s.missed_fidelity_slo) + fidelity_rejected_count
+    )
+    demand = len(with_slo) + fidelity_rejected_count
     return misses, (misses / demand if demand else 0.0)

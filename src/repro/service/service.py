@@ -71,14 +71,20 @@ class QRAMService:
             evolution).
         seed: RNG seed for the random policy.
         architecture: architecture served by every shard (any name from
-            :func:`repro.baselines.registry.backend_names`).
+            :func:`repro.baselines.registry.backend_names`, optionally
+            with a QEC-distance suffix: ``"Fat-Tree@d3"`` serves encoded
+            logical queries).
         architectures: per-shard architecture names (a heterogeneous
-            fleet); overrides ``architecture`` and must have one entry per
-            shard.
+            fleet, e.g. bare and encoded replicas side by side); overrides
+            ``architecture`` and must have one entry per shard.
         placement: ``"interleaved"`` (address-interleaved shards; queries
             are pinned to the shard owning their addresses) or
             ``"shortest-queue"`` (every shard replicates the full memory
             and each query is placed on the least-loaded shard).
+        parameters: optional
+            :class:`~repro.hardware.parameters.HardwareParameters` noise
+            model shared by every shard's predicted fidelities (defaults
+            to the paper's parameter set).
     """
 
     def __init__(
@@ -93,6 +99,7 @@ class QRAMService:
         architecture: str = "Fat-Tree",
         architectures: Sequence[str] | None = None,
         placement: str = "interleaved",
+        parameters=None,
     ) -> None:
         if placement not in PLACEMENTS:
             raise ValueError(
@@ -115,11 +122,15 @@ class QRAMService:
         memory = [0] * capacity if data is None else [int(x) & 1 for x in data]
         if len(memory) != capacity:
             raise ValueError("data length must equal capacity")
+        # Kept for replicas built later (autoscaling must not fall back to
+        # the default noise model when the fleet was configured otherwise).
+        self.parameters = parameters
         self.shards = [
             build_backend(
                 name,
                 self.shard_map.shard_capacity,
                 self.shard_map.shard_data(memory, shard),
+                parameters=parameters,
             )
             for shard, name in enumerate(architectures)
         ]
@@ -189,6 +200,7 @@ class QRAMService:
         max_queue_depth: int | None = None,
         shed_expired: bool = False,
         autoscaler: AutoscalerConfig | None = None,
+        max_distillation_copies: int = 1,
     ) -> ServiceReport:
         """Serve any workload source with the full engine surface.
 
@@ -203,11 +215,15 @@ class QRAMService:
                 (accounted in ``stats.shed_queries``).
             autoscaler: queue-depth-watermark elastic scaling (requires
                 ``placement="shortest-queue"``).
+            max_distillation_copies: parallel-copy budget per query for the
+                virtual-distillation fidelity retry (1 disables it); see
+                :class:`repro.engine.ServiceEngine`.
         """
         engine = ServiceEngine(
             self,
             max_queue_depth=max_queue_depth,
             shed_expired=shed_expired,
             autoscaler=autoscaler,
+            max_distillation_copies=max_distillation_copies,
         )
         return engine.run(source, clops=clops)

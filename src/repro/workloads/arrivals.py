@@ -74,11 +74,16 @@ def periodic_times(
     Args:
         num_sources: number of issuing sources (>= 0).
         rounds: arrivals per source (>= 0).
-        period: layers between one source's consecutive arrivals.
-        stagger: offset between the start times of successive sources.
+        period: layers between one source's consecutive arrivals (> 0).
+        stagger: offset between the start times of successive sources
+            (>= 0).
     """
     if num_sources < 0 or rounds < 0:
         raise ValueError("num_sources and rounds must be >= 0")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if stagger < 0:
+        raise ValueError("stagger must be >= 0")
     return [
         (source * stagger + round_index * period, source)
         for source in range(num_sources)

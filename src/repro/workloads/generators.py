@@ -110,6 +110,7 @@ def _arrival_trace(
     num_shards: int,
     seed: int,
     deadline_layers: float | None = None,
+    min_fidelity: float | None = None,
 ) -> list[QueryRequest]:
     """Requests at the given arrival times, round-robin over tenants and
     random (shard-aligned) address superpositions."""
@@ -126,6 +127,7 @@ def _arrival_trace(
                 request_time=float(t),
                 qpu=i % num_tenants,
                 deadline=None if deadline_layers is None else float(t) + deadline_layers,
+                min_fidelity=min_fidelity,
             )
         )
     return requests
@@ -140,6 +142,7 @@ def poisson_trace(
     num_shards: int = 1,
     seed: int = 0,
     deadline_layers: float | None = None,
+    min_fidelity: float | None = None,
 ) -> list[QueryRequest]:
     """Open-loop Poisson traffic: exponential interarrival times (raw layers).
 
@@ -149,14 +152,15 @@ def poisson_trace(
     Arrival times come from the shared core in
     :mod:`repro.workloads.arrivals`.  With ``deadline_layers`` every query
     carries the deadline ``arrival + deadline_layers`` for SLO-aware
-    serving (EDF admission, shed accounting).
+    serving (EDF admission, shed accounting); with ``min_fidelity`` every
+    query carries that fidelity SLO for fidelity-aware serving.
     """
     if num_queries < 1:
         raise ValueError("num_queries must be >= 1")
     times = exponential_times(num_queries, mean_interarrival, seed)
     return _arrival_trace(
         capacity, times, addresses_per_query, num_tenants, num_shards, seed,
-        deadline_layers,
+        deadline_layers, min_fidelity,
     )
 
 
@@ -170,6 +174,7 @@ def bursty_trace(
     num_shards: int = 1,
     seed: int = 0,
     deadline_layers: float | None = None,
+    min_fidelity: float | None = None,
 ) -> list[QueryRequest]:
     """Bursty traffic: ``burst_size`` simultaneous requests every
     ``burst_spacing`` raw layers (the stress pattern for window batching)."""
@@ -178,7 +183,7 @@ def bursty_trace(
     times = burst_times(num_bursts, burst_size, burst_spacing)
     return _arrival_trace(
         capacity, times, addresses_per_query, num_tenants, num_shards, seed,
-        deadline_layers,
+        deadline_layers, min_fidelity,
     )
 
 
@@ -192,6 +197,7 @@ def closed_loop_source(
     seed: int = 0,
     deadline_layers: float | None = None,
     stagger: float = 0.0,
+    min_fidelity: float | None = None,
 ) -> ClosedLoopSource:
     """A seeded fleet of closed-loop clients for the discrete-event engine.
 
@@ -213,6 +219,7 @@ def closed_loop_source(
         deadline_layers: per-request relative deadline (``None`` = best
             effort).
         stagger: offset between successive clients' start times.
+        min_fidelity: per-request fidelity SLO (``None`` = best effort).
     """
     if num_clients < 1:
         raise ValueError("num_clients must be >= 1")
@@ -223,6 +230,7 @@ def closed_loop_source(
             think_layers=think_layers,
             start_time=client_id * stagger,
             deadline_layers=deadline_layers,
+            min_fidelity=min_fidelity,
         )
         for client_id in range(num_clients)
     ]

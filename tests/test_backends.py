@@ -102,7 +102,11 @@ def test_backend_window_timing_only(name):
     functional = backend.run_window(requests, functional=True)
     timing = backend.run_window(requests, functional=False)
     assert timing.outputs == (None, None)
-    assert timing.fidelities == (None, None)
+    # Timing-only windows report the analytic *predicted* fidelity in place
+    # of the measured one — the serving stack is never blind to quality.
+    assert timing.fidelities == timing.predicted_fidelities
+    assert all(0.0 <= f < 1.0 for f in timing.fidelities)
+    assert timing.predicted_fidelities == functional.predicted_fidelities
     assert timing.start_offsets == functional.start_offsets
     assert timing.finish_offsets == functional.finish_offsets
     with pytest.raises(ValueError):
@@ -252,3 +256,161 @@ def test_policy_coercion_accepts_legacy_enum_and_names():
         as_policy("deadline")
     with pytest.raises(TypeError):
         as_policy(42)
+
+
+# -------------------------------------------------------- predicted fidelity
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+def test_predicted_fidelity_surface(name):
+    """Every backend predicts a per-slot fidelity for any window shape."""
+    backend = build_backend(name, CAPACITY)
+    solo = backend.predicted_query_fidelity()
+    assert 0.0 < solo < 1.0
+    assert backend.predicted_window_fidelities(1) == (solo,)
+    window = backend.predicted_window_fidelities(3)
+    assert len(window) == 3
+    # Pipelining-depth degradation never *improves* a slot over a lone query.
+    assert all(0.0 <= f <= solo for f in window)
+    with pytest.raises(ValueError):
+        backend.predicted_window_fidelities(0)
+
+
+def test_fat_tree_prediction_matches_table3_bound():
+    """A lone query predicts exactly the Sec. 8.1 / Table 3 bound."""
+    from repro.fidelity.noise_resilience import fat_tree_query_infidelity
+    from repro.hardware.parameters import TABLE3_PARAMETERS
+
+    params = TABLE3_PARAMETERS[1e-3]
+    backend = build_backend("Fat-Tree", 16, parameters=params)
+    assert backend.predicted_query_fidelity() == pytest.approx(
+        1.0 - fat_tree_query_infidelity(16, params)
+    )
+    assert backend.predicted_query_fidelity() == pytest.approx(1.0 - 0.08)
+
+
+def test_fat_tree_pipelining_degrades_interior_slots():
+    backend = build_backend("Fat-Tree", 16)
+    solo = backend.predicted_query_fidelity()
+    window = backend.predicted_window_fidelities(4)
+    # Interior slots overlap more in-flight neighbours than the edges.
+    assert window[1] < window[0] < solo
+    assert window[1] == pytest.approx(window[2])    # symmetric overlap
+
+
+def test_bb_sequential_windows_never_degrade():
+    """BB admits queries one full lifetime apart: zero overlap, zero
+    pipelining degradation at any batch size."""
+    backend = build_backend("BB", CAPACITY)
+    solo = backend.predicted_query_fidelity()
+    assert backend.predicted_window_fidelities(5) == (solo,) * 5
+
+
+def test_distributed_crosstalk_is_per_copy():
+    """Slots on different hardware copies never degrade each other: a batch
+    no larger than the copy count predicts the lone-query bound."""
+    backend = build_backend("D-Fat-Tree", 16)
+    copies = backend.model.num_copies
+    solo = backend.predicted_query_fidelity()
+    assert backend.predicted_window_fidelities(copies) == (solo,) * copies
+    # One more query makes exactly one copy pipeline two queries.
+    overloaded = backend.predicted_window_fidelities(copies + 1)
+    assert overloaded[0] < solo and overloaded[copies] < solo
+    assert all(f == solo for f in overloaded[1:copies])
+
+
+def test_served_requests_always_carry_predicted_fidelity():
+    """Timing-only serving populates ServedQuery.fidelity with the
+    prediction instead of None."""
+    capacity = 16
+    trace = poisson_trace(capacity, 12, mean_interarrival=5.0, num_shards=2, seed=4)
+    service = QRAMService(capacity, num_shards=2, functional=False)
+    report = service.serve(trace)
+    for record in report.served:
+        assert record.fidelity is not None
+        assert record.predicted_fidelity is not None
+        assert 0.0 < record.predicted_fidelity < 1.0
+    stats = report.stats
+    assert stats.mean_fidelity is not None
+    assert stats.min_fidelity is not None
+    assert 0.0 < stats.min_fidelity <= stats.mean_fidelity < 1.0
+    for backend_stats in stats.per_backend.values():
+        assert backend_stats.mean_fidelity is not None
+    for shard_stats in stats.per_shard.values():
+        assert shard_stats.min_fidelity is not None
+
+
+# ------------------------------------------------------------- QEC encoding
+def test_encoded_backend_registry_names():
+    from repro.backends import encoded_backend_name, parse_encoded_name
+
+    assert encoded_backend_name("Fat-Tree", 3) == "Fat-Tree@d3"
+    assert parse_encoded_name("Fat-Tree@d3") == ("Fat-Tree", 3)
+    assert parse_encoded_name("BB") == ("BB", 1)
+    with pytest.raises(ValueError):
+        parse_encoded_name("Fat-Tree@dx")
+    with pytest.raises(ValueError):
+        parse_encoded_name("Fat-Tree@d0")
+    with pytest.raises(KeyError):
+        build_backend("Hyper-Tree@d3", CAPACITY)
+
+
+def test_build_backend_distance_knob():
+    """The @d suffix and the explicit distance kwarg build the same thing;
+    distance 1 is the bare adapter."""
+    from repro.backends import EncodedBackend
+
+    bare = build_backend("Fat-Tree", CAPACITY)
+    via_suffix = build_backend("Fat-Tree@d3", CAPACITY)
+    via_kwarg = build_backend("Fat-Tree", CAPACITY, distance=3)
+    assert isinstance(via_suffix, EncodedBackend)
+    assert via_suffix.name == via_kwarg.name == "Fat-Tree@d3"
+    assert not isinstance(build_backend("Fat-Tree", CAPACITY, distance=1),
+                          EncodedBackend)
+    # The kwarg wins over the suffix (explicit beats embedded).
+    assert build_backend("Fat-Tree@d3", CAPACITY, distance=5).name == "Fat-Tree@d5"
+    assert isinstance(via_suffix, type(via_kwarg))
+    assert bare.capacity == via_suffix.capacity
+
+
+def test_encoded_backend_table5_resources_and_timing():
+    """Distance d costs m = d^2 qubits per logical qubit, divides the
+    logical parallelism and stretches layers by the syndrome depth D,
+    trailing m pipelined physical queries (Table 5)."""
+    capacity = 16
+    bare = build_backend("Fat-Tree", capacity)
+    encoded = build_backend("Fat-Tree@d3", capacity)
+    m = encoded.code.physical_qubits
+    depth = encoded.code.syndrome_depth
+    assert m == 9 and encoded.code.distance == 3
+    assert encoded.qubit_count == m * bare.qubit_count
+    assert encoded.query_parallelism == max(1, bare.query_parallelism // m)
+    assert encoded.minimum_feasible_interval() == depth * bare.minimum_feasible_interval()
+    request = [QueryRequest(0, {1: 1.0})]
+    bare_window = bare.run_window(request, functional=False)
+    encoded_window = encoded.run_window(request, functional=False)
+    assert encoded_window.total_layers == depth * bare_window.total_layers + m
+    assert encoded_window.finish_offsets[0] == depth * bare_window.finish_offsets[0] + m
+
+
+def test_encoded_backend_improves_fidelity_below_threshold():
+    """Below the code threshold, an encoded replica predicts (much) higher
+    fidelity than its bare twin — the Fig. 11 separation, servable."""
+    from repro.hardware.parameters import TABLE3_PARAMETERS
+
+    params = TABLE3_PARAMETERS[1e-4]
+    bare = build_backend("Fat-Tree", 16, parameters=params)
+    encoded = build_backend("Fat-Tree@d3", 16, parameters=params)
+    assert encoded.predicted_query_fidelity() > bare.predicted_query_fidelity()
+    assert encoded.predicted_query_fidelity() > 0.999
+    # Functional windows pass outputs through but report the prediction:
+    # the gate-level simulation is of the bare circuit.
+    result = encoded.run_window([QueryRequest(0, {1: 1.0})], functional=True)
+    assert result.outputs[0] is not None
+    assert result.fidelities == result.predicted_fidelities
+    assert result.fidelities[0] == pytest.approx(encoded.predicted_query_fidelity())
+
+
+def test_encoded_backend_rejects_distance_one():
+    from repro.backends import EncodedBackend
+
+    with pytest.raises(ValueError):
+        EncodedBackend(build_backend("BB", CAPACITY), distance=1)

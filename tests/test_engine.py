@@ -384,3 +384,241 @@ def test_result_for_uses_constant_time_index():
     assert len(report._result_index) == 12
     with pytest.raises(KeyError):
         report.result_for(404)
+
+
+# --------------------------------------------------- deadline boundary cases
+def test_deadline_equal_to_now_is_shed():
+    """Boundary: a request whose deadline equals the shed-check instant can
+    no longer finish on time and must be shed, not admitted-then-missed."""
+    capacity = 8
+    # Query 0 occupies the shard; query 1's deadline lands exactly on the
+    # window drain, which is when the next shed check runs.
+    service = QRAMService(capacity, num_shards=1, window_size=1, functional=False)
+    drain = service.shards[0].run_window(
+        [QueryRequest(99, {0: 1.0})], functional=False
+    ).total_layers
+    requests = [
+        QueryRequest(0, {0: 1.0}, request_time=0.0),
+        QueryRequest(1, {1: 1.0}, request_time=1.0, deadline=float(drain)),
+    ]
+    report = service.serve_workload(TraceSource(requests), shed_expired=True)
+    shed = [r for r in report.rejected if r.reason == REJECT_DEADLINE_EXPIRED]
+    assert [r.query_id for r in shed] == [1]
+    assert report.stats.shed_queries == 1
+    assert report.stats.total_queries == 1
+
+
+def test_finish_exactly_at_deadline_is_not_a_miss():
+    """Boundary: finish_layer == deadline is on time — the shed comparison
+    and the miss accounting agree at the boundary."""
+    capacity = 8
+    service = QRAMService(capacity, num_shards=1, window_size=1, functional=False)
+    drain = service.shards[0].run_window(
+        [QueryRequest(99, {0: 1.0})], functional=False
+    ).total_layers
+    finish = service.shards[0].run_window(
+        [QueryRequest(98, {0: 1.0})], functional=False
+    ).finish_offsets[0]
+    requests = [QueryRequest(0, {0: 1.0}, request_time=0.0, deadline=float(finish))]
+    report = service.serve_workload(TraceSource(requests), shed_expired=True)
+    record = report.result_for(0)
+    assert record.finish_layer == record.deadline
+    assert not record.missed_deadline
+    assert report.stats.deadline_misses == 0
+    assert report.stats.deadline_miss_rate == 0.0
+    assert drain >= finish
+
+
+# ----------------------------------------------------------- fidelity SLOs
+def test_infeasible_fidelity_slo_is_rejected():
+    """A target above what any placement can predict refuses at arrival."""
+    from repro.metrics.service_stats import REJECT_FIDELITY
+
+    capacity = 16
+    service = QRAMService(capacity, num_shards=1, functional=False)
+    solo = service.shards[0].predicted_query_fidelity()
+    requests = [
+        QueryRequest(0, {0: 1.0}, min_fidelity=min(1.0, solo + 0.01)),
+        QueryRequest(1, {1: 1.0}, min_fidelity=solo),
+    ]
+    report = service.serve_workload(TraceSource(requests))
+    assert [r.query_id for r in report.rejected] == [0]
+    assert report.rejected[0].reason == REJECT_FIDELITY
+    assert report.rejected[0].min_fidelity == pytest.approx(solo + 0.01)
+    assert report.stats.fidelity_rejected_queries == 1
+    assert report.stats.rejected_queries == 1      # non-shed refusals
+    assert report.stats.shed_queries == 0
+    assert report.stats.fidelity_slo_misses == 1   # a refusal is a miss
+    served = report.result_for(1)
+    assert served.min_fidelity == pytest.approx(solo)
+    assert served.predicted_fidelity >= served.min_fidelity
+    assert not served.missed_fidelity_slo
+    assert report.stats.fidelity_slo_miss_rate == pytest.approx(0.5)
+
+
+def test_distillation_retry_lifts_fidelity_and_charges_layers():
+    """With a copy budget, a target above the bare bound is admitted via
+    virtual distillation; the copies keep the backend busy longer."""
+    capacity = 16
+    solo = QRAMService(capacity, num_shards=1, functional=False)\
+        .shards[0].predicted_query_fidelity()
+    target = 1.0 - (1.0 - solo) ** 2 * 1.5     # needs exactly 2 copies
+    assert solo < target < 1.0 - (1.0 - solo) ** 2
+
+    def serve(copies):
+        service = QRAMService(capacity, num_shards=1, functional=False)
+        return service.serve_workload(
+            TraceSource([QueryRequest(0, {0: 1.0}, min_fidelity=target)]),
+            max_distillation_copies=copies,
+        )
+
+    with pytest.raises(ValueError):
+        serve(1)                                # all offered requests refused
+    report = serve(3)
+    record = report.result_for(0)
+    assert record.distillation_copies == 2
+    # The two copies are extra pipelined admissions: the distillation
+    # suppresses the *worst slot* of a 2-query window, not the lone-query
+    # bound — crosstalk and suppression both enter the prediction.
+    probe = QRAMService(capacity, num_shards=1, functional=False)
+    worst_of_two = min(probe.shards[0].predicted_window_fidelities(2))
+    assert record.predicted_fidelity == pytest.approx(
+        1.0 - (1.0 - worst_of_two) ** 2
+    )
+    assert record.predicted_fidelity >= target
+    assert not record.missed_fidelity_slo
+
+    # The extra copy charges one admission interval to the window.
+    plain = QRAMService(capacity, num_shards=1, functional=False)
+    plain_report = plain.serve_workload(
+        TraceSource([QueryRequest(0, {0: 1.0})])
+    )
+    interval = plain_report.windows[0].interval
+    assert report.windows[0].total_layers == (
+        plain_report.windows[0].total_layers + interval
+    )
+
+
+def test_fidelity_aware_batch_capping():
+    """A window is shrunk until pipelining degradation stops violating the
+    strictest SLO in the batch — the dropped requests run in later windows."""
+    capacity = 16
+    probe = QRAMService(capacity, num_shards=1, functional=False)
+    solo = probe.shards[0].predicted_query_fidelity()
+    full = probe.shards[0].predicted_window_fidelities(
+        probe.window_sizes[0]
+    )
+    target = (min(full) + solo) / 2.0          # feasible solo, not in a full window
+    assert min(full) < target < solo
+    requests = [
+        QueryRequest(i, {i: 1.0}, min_fidelity=target)
+        for i in range(probe.window_sizes[0])
+    ]
+    service = QRAMService(capacity, num_shards=1, functional=False)
+    report = service.serve_workload(TraceSource(requests))
+    assert report.stats.total_queries == len(requests)
+    assert report.stats.fidelity_slo_misses == 0
+    for record in report.served:
+        assert record.predicted_fidelity >= target
+    # The capping forced more, smaller windows than the uncapped fleet.
+    assert len(report.windows) > 1
+    assert max(w.batch_size for w in report.windows) < len(requests)
+
+
+def test_mixed_fleet_routes_slo_traffic_to_encoded_replicas():
+    """Replicated placement prefers shards that can meet the SLO: strict
+    traffic lands on the encoded replica, best-effort spreads anywhere."""
+    from repro.hardware.parameters import TABLE3_PARAMETERS
+
+    params = TABLE3_PARAMETERS[1e-4]
+    capacity = 16
+    service = QRAMService(
+        capacity,
+        num_shards=2,
+        functional=False,
+        architectures=["Fat-Tree", "Fat-Tree@d3"],
+        placement="shortest-queue",
+        parameters=params,
+    )
+    bare_solo = service.shards[0].predicted_query_fidelity()
+    encoded_solo = service.shards[1].predicted_query_fidelity()
+    assert bare_solo < 0.995 < encoded_solo
+    requests = [
+        QueryRequest(i, {i % capacity: 1.0}, request_time=float(5 * i),
+                     min_fidelity=0.995)
+        for i in range(4)
+    ]
+    report = service.serve_workload(TraceSource(requests))
+    assert report.stats.total_queries == 4
+    assert {r.shard for r in report.served} == {1}
+    assert all(r.architecture == "Fat-Tree@d3" for r in report.served)
+    assert report.stats.fidelity_slo_misses == 0
+
+
+def test_min_fidelity_validation():
+    service = QRAMService(8, num_shards=1, functional=False)
+    with pytest.raises(ValueError, match="min_fidelity"):
+        service.serve_workload(
+            TraceSource([QueryRequest(0, {0: 1.0}, min_fidelity=1.5)])
+        )
+    with pytest.raises(ValueError):
+        ServiceEngine(service, max_distillation_copies=0)
+
+
+def test_autoscaled_replicas_inherit_fleet_parameters():
+    """Regression: scale-up must build replicas under the fleet's noise
+    model — a default-parameters replica would predict far lower fidelity
+    and silently serve admitted SLO traffic below target."""
+    from repro.hardware.parameters import TABLE3_PARAMETERS
+
+    capacity = 16
+    service = QRAMService(
+        capacity, num_shards=1, functional=False,
+        placement="shortest-queue", parameters=TABLE3_PARAMETERS[1e-4],
+    )
+    solo = service.shards[0].predicted_query_fidelity()
+    target = solo - 0.001                  # feasible on the configured model
+    burst = [
+        QueryRequest(i, {i % capacity: 1.0}, request_time=0.0,
+                     min_fidelity=target)
+        for i in range(12)
+    ]
+    config = AutoscalerConfig(period=50.0, high_watermark=4, max_shards=3)
+    report = service.serve_workload(TraceSource(burst), autoscaler=config)
+    assert any(e.action == "up" for e in report.scale_events)
+    assert report.stats.total_queries == 12
+    assert report.stats.fidelity_slo_misses == 0
+    assert {r.shard for r in report.served} != {0}    # replicas did serve
+    for record in report.served:
+        assert record.predicted_fidelity >= target
+
+
+def test_rebalance_never_moves_slo_traffic_to_infeasible_replicas():
+    """Regression: queue rebalancing must not hand strict-SLO requests to a
+    replica that cannot meet them (and the window admission re-validates,
+    so nothing is ever silently served below target)."""
+    from repro.hardware.parameters import TABLE3_PARAMETERS
+
+    capacity = 16
+    params = TABLE3_PARAMETERS[1e-4]
+    # The fleet starts with one encoded replica; the autoscaler grows it
+    # with *bare* replicas that cannot meet the 0.995 target.
+    service = QRAMService(
+        capacity, num_shards=1, functional=False,
+        architectures=["Fat-Tree@d3"], placement="shortest-queue",
+        parameters=params,
+    )
+    burst = [
+        QueryRequest(i, {i % capacity: 1.0}, request_time=0.0,
+                     min_fidelity=0.995)
+        for i in range(12)
+    ]
+    config = AutoscalerConfig(period=50.0, high_watermark=4, max_shards=3,
+                              architecture="Fat-Tree")
+    report = service.serve_workload(TraceSource(burst), autoscaler=config)
+    assert report.stats.total_queries == 12
+    assert report.stats.fidelity_slo_misses == 0
+    assert report.stats.fidelity_rejected_queries == 0
+    # Everything stayed on the encoded replica.
+    assert {r.shard for r in report.served} == {0}
+    assert all(r.architecture == "Fat-Tree@d3" for r in report.served)

@@ -166,3 +166,37 @@ def test_infidelity_bounds_are_monotone_and_clipped(n, eps_exp):
     if n >= 2:
         smaller = fat_tree_query_infidelity(2 ** (n - 1), params)
         assert value >= smaller
+
+
+def test_encoded_infidelity_distance_one_is_unencoded_bound():
+    """Regression: d=1 must be an exact passthrough to the bare Sec. 8.1
+    bounds (a dead `scale` computation used to shadow this intent)."""
+    params = HardwareParameters(
+        cswap_error=2e-3, inter_node_swap_error=2e-3, intra_node_swap_error=1e-3
+    )
+    for capacity in (8, 64, 1024):
+        assert encoded_infidelity("Fat-Tree", capacity, 1, params) == (
+            fat_tree_query_infidelity(capacity, params)
+        )
+        assert encoded_infidelity("BB", capacity, 1, params) == (
+            bb_query_infidelity(capacity, params)
+        )
+        assert encoded_infidelity("GC", capacity, 1, params) == (
+            generic_circuit_infidelity(capacity, params)
+        )
+
+
+def test_encoded_parameters_passthrough_and_scaling():
+    from repro.fidelity import encoded_parameters
+
+    params = HardwareParameters(
+        cswap_error=1e-4, inter_node_swap_error=1e-4, intra_node_swap_error=5e-5
+    )
+    assert encoded_parameters(params, 1) is params
+    logical = encoded_parameters(params, 3)
+    # Below threshold (1e-4 << 1e-2) the logical rates improve on the
+    # physical ones; gate times are untouched.
+    assert logical.cswap_error == pytest.approx(1e-5)
+    assert logical.cswap_error < params.cswap_error
+    assert logical.intra_node_swap_error < params.intra_node_swap_error
+    assert logical.cswap_time_us == params.cswap_time_us
