@@ -1,0 +1,182 @@
+"""Million-query open-loop serving in bounded memory (BENCH_service_scale).
+
+The scale proof for the streaming telemetry core: a >= 1,000,000-request
+open-loop Poisson trace is generated lazily (``iter_poisson_trace``), fed
+through a :class:`~repro.engine.StreamingTraceSource` and served with
+``retention="none"`` — no per-request records, no materialized trace, no
+arrival backlog in the event heap.  The run writes
+``BENCH_service_scale.json`` (requests/sec, wall time, peak RSS, telemetry
+interval count) so every subsequent performance PR has a recorded
+trajectory to compare against, and *asserts* that peak traced memory is
+independent of request count (a 5x larger run may not allocate more than a
+small constant factor over the smaller one).
+
+Run the full benchmark (about two minutes):
+
+    PYTHONPATH=src python benchmarks/bench_service_scale.py
+
+Environment knobs:
+
+* ``QRAM_SCALE_REQUESTS`` — request count of the headline run
+  (default 1,000,000; CI uses a reduced size).
+* ``QRAM_SCALE_MAX_RSS_MIB`` — when set (> 0), fail if the process's peak
+  RSS after the headline run exceeds this many MiB (the CI memory gate).
+
+The pytest entry point (``pytest benchmarks/bench_service_scale.py``) runs
+a reduced version of the same measurement so the harness stays cheap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.engine import StreamingTraceSource
+from repro.service import QRAMService
+from repro.workloads import iter_poisson_trace
+
+CAPACITY = 8
+NUM_SHARDS = 2
+NUM_TENANTS = 4
+#: Feasible offered load: the 2-shard capacity-8 Fat-Tree fleet serves one
+#: query every ~12.2 raw layers, so a 14-layer mean interarrival keeps the
+#: service stable (~87% utilization) and queues — and therefore memory —
+#: bounded at any trace length.
+MEAN_INTERARRIVAL = 14.0
+SEED = 5
+
+REQUESTS = int(os.environ.get("QRAM_SCALE_REQUESTS", "1000000"))
+MAX_RSS_MIB = float(os.environ.get("QRAM_SCALE_MAX_RSS_MIB", "0"))
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_service_scale.json"
+
+
+def _serve(num_requests: int, telemetry_interval: float | None = None):
+    """One bounded-memory open-loop run: lazy trace, no record retention."""
+    trace = iter_poisson_trace(
+        CAPACITY,
+        num_requests,
+        mean_interarrival=MEAN_INTERARRIVAL,
+        addresses_per_query=1,
+        num_tenants=NUM_TENANTS,
+        num_shards=NUM_SHARDS,
+        seed=SEED,
+    )
+    service = QRAMService(CAPACITY, num_shards=NUM_SHARDS, functional=False)
+    return service.serve_workload(
+        StreamingTraceSource(trace),
+        retention="none",
+        telemetry_interval=telemetry_interval,
+    )
+
+
+def _traced_peak_bytes(num_requests: int) -> int:
+    """Peak traced allocation of one run (tracemalloc; ~2x slowdown)."""
+    tracemalloc.start()
+    try:
+        _serve(num_requests)
+        return tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+
+
+def check_bounded_memory(small: int, large: int) -> tuple[int, int]:
+    """Assert peak memory does not scale with the request count.
+
+    Serves ``small`` and ``large`` (>= 5x larger) requests under
+    tracemalloc and requires the larger run's peak to stay within a small
+    constant factor — the defining property of the streaming observation
+    path (a list-retention engine fails this immediately: its peak grows
+    linearly with the trace).
+    """
+    peak_small = _traced_peak_bytes(small)
+    peak_large = _traced_peak_bytes(large)
+    budget = 1.5 * peak_small + 256 * 1024
+    assert peak_large <= budget, (
+        f"peak traced memory grew with request count: {small} requests -> "
+        f"{peak_small / 1e6:.2f} MB but {large} requests -> "
+        f"{peak_large / 1e6:.2f} MB (budget {budget / 1e6:.2f} MB)"
+    )
+    return peak_small, peak_large
+
+
+def run_scale(num_requests: int) -> dict:
+    """The headline run plus the bounded-memory assertion; returns the
+    metrics dict written to ``BENCH_service_scale.json``."""
+    small = max(2_000, num_requests // 50)
+    large = max(5 * small, num_requests // 10)
+    peak_small, peak_large = check_bounded_memory(small, large)
+
+    telemetry_interval = MEAN_INTERARRIVAL * num_requests / 100.0
+    start = time.perf_counter()
+    report = _serve(num_requests, telemetry_interval=telemetry_interval)
+    wall_seconds = time.perf_counter() - start
+    stats = report.stats
+    assert stats.total_queries == num_requests
+    assert report.served == [] and report.windows == []
+
+    # ru_maxrss is KiB on Linux but bytes on macOS.
+    rss_raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    per_mib = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return {
+        "requests": num_requests,
+        "wall_seconds": round(wall_seconds, 3),
+        "requests_per_sec": round(num_requests / wall_seconds, 1),
+        "peak_rss_mib": round(rss_raw / per_mib, 1),
+        "retention": "none",
+        "makespan_layers": stats.makespan_layers,
+        "bandwidth_queries_per_sec": round(stats.bandwidth_queries_per_sec, 1),
+        "mean_latency_layers": round(stats.mean_latency_layers, 3),
+        "p50_latency_layers": round(stats.p50_latency_layers, 3),
+        "p99_latency_layers": round(stats.p99_latency_layers, 3),
+        "telemetry_intervals": len(report.telemetry),
+        "bounded_memory_check": {
+            "small_requests": small,
+            "large_requests": large,
+            "traced_peak_small_bytes": peak_small,
+            "traced_peak_large_bytes": peak_large,
+        },
+    }
+
+
+def test_service_scale_bounded_memory(benchmark):
+    """Reduced pytest entry: the same memory-independence guarantee."""
+    peak_small, peak_large = check_bounded_memory(2_000, 10_000)
+    report = _serve(4_000, telemetry_interval=2_000.0)
+    benchmark(lambda: report)
+    assert report.stats.total_queries == 4_000
+    assert report.served == [] and report.rejected == []
+    assert len(report.telemetry) > 1
+    try:
+        from conftest import print_rows
+    except ImportError:  # pragma: no cover - direct invocation
+        return
+    print_rows(
+        "Bounded-memory serving — retention='none', streaming Poisson trace",
+        {
+            "traced_peak_2k_requests_kb": round(peak_small / 1024, 1),
+            "traced_peak_10k_requests_kb": round(peak_large / 1024, 1),
+            "telemetry_intervals": len(report.telemetry),
+        },
+    )
+
+
+def main() -> None:
+    metrics = run_scale(REQUESTS)
+    RESULT_PATH.write_text(json.dumps(metrics, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {RESULT_PATH}")
+    for key, value in metrics.items():
+        print(f"  {key}: {value}")
+    if MAX_RSS_MIB > 0 and metrics["peak_rss_mib"] > MAX_RSS_MIB:
+        sys.exit(
+            f"peak RSS {metrics['peak_rss_mib']} MiB exceeds the "
+            f"QRAM_SCALE_MAX_RSS_MIB bound of {MAX_RSS_MIB} MiB"
+        )
+
+
+if __name__ == "__main__":
+    main()

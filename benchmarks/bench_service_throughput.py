@@ -24,11 +24,18 @@ Measurements:
 * the fidelity axis: the same trace drained by a bare fleet, a mixed
   bare + ``distance=3`` encoded fleet, and the mixed fleet under a
   per-request fidelity SLO — comparing predicted mean/min fidelity,
-  fidelity-reject counts and the throughput cost of quality.
+  fidelity-reject counts and the throughput cost of quality;
+* the retention axis: one 5,000-query streaming trace served under
+  ``retention="full"`` vs ``retention="none"`` — identical counts and
+  means, sketched percentiles within a few percent, and an
+  order-of-magnitude drop in peak traced memory (the bounded-memory
+  observation path of ``bench_service_scale.py`` at benchmark scale).
 """
 
 import time
+import tracemalloc
 
+import pytest
 from conftest import print_rows
 
 from repro.baselines.registry import backend_names
@@ -36,10 +43,10 @@ from repro.bucket_brigade.executor import BBExecutor
 from repro.bucket_brigade.qram import BucketBrigadeQRAM
 from repro.core.executor import FatTreeExecutor
 from repro.core.qram import FatTreeQRAM
-from repro.engine import TraceSource
+from repro.engine import StreamingTraceSource, TraceSource
 from repro.hardware.parameters import TABLE3_PARAMETERS
 from repro.service import QRAMService
-from repro.workloads import poisson_trace, random_data
+from repro.workloads import iter_poisson_trace, poisson_trace, random_data
 
 CAPACITY = 32
 BATCH = 4
@@ -339,3 +346,69 @@ def test_service_fidelity_axis(benchmark):
     assert set(slo.per_backend) == {"Fat-Tree@d3"}
     # Quality costs time: one encoded replica absorbs the whole trace.
     assert slo.makespan_layers > mixed.makespan_layers
+
+
+def test_service_retention_axis(benchmark):
+    """Record retention vs memory: the streaming observation path.
+
+    The same lazily generated 5,000-query Poisson trace is served twice —
+    once retaining every record (the historical behaviour) and once with
+    ``retention="none"`` (streaming aggregates only).  The two reports
+    must agree on every count and mean; the record-free run's peak traced
+    memory must be far below the full-retention run's, which grows with
+    the trace.
+    """
+    capacity = 8
+    num_queries = 5_000
+
+    def serve(retention):
+        trace = iter_poisson_trace(
+            capacity, num_queries, mean_interarrival=14.0,
+            addresses_per_query=1, num_tenants=4, num_shards=2, seed=5,
+        )
+        service = QRAMService(capacity, num_shards=2, functional=False)
+        return service.serve_workload(
+            StreamingTraceSource(trace), retention=retention,
+            telemetry_interval=10_000.0,
+        )
+
+    serve("none")                          # warm schedule caches
+    results = {}
+    for retention in ("full", "none"):
+        tracemalloc.start()
+        start = time.perf_counter()
+        report = serve(retention)
+        wall = time.perf_counter() - start
+        peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+        results[retention] = (report, wall, peak)
+
+    benchmark(lambda: results)
+    rows = {}
+    for retention, (report, wall, peak) in results.items():
+        rows[retention] = {
+            "served": report.stats.total_queries,
+            "records_retained": len(report.served),
+            "wall_seconds": round(wall, 2),
+            "traced_peak_kb": round(peak / 1024, 1),
+            "p95_latency_layers": round(report.stats.p95_latency_layers, 1),
+            "telemetry_intervals": len(report.telemetry),
+        }
+    print_rows(
+        "Retention axis — 5,000-query streaming Poisson trace, 2 shards",
+        rows,
+    )
+    full_report, _, full_peak = results["full"]
+    none_report, _, none_peak = results["none"]
+    assert full_report.stats.total_queries == num_queries
+    assert none_report.stats.total_queries == num_queries
+    assert none_report.served == []
+    assert none_report.stats.mean_latency_layers == pytest.approx(
+        full_report.stats.mean_latency_layers
+    )
+    assert none_report.stats.p95_latency_layers == pytest.approx(
+        full_report.stats.p95_latency_layers, rel=0.1
+    )
+    # The record-free observation path is the memory win the scale
+    # benchmark builds on.
+    assert none_peak < full_peak / 4

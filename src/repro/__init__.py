@@ -47,6 +47,7 @@ from repro.engine import (
     ClosedLoopClient,
     ClosedLoopSource,
     ServiceEngine,
+    StreamingTraceSource,
     TraceSource,
 )
 
@@ -66,6 +67,7 @@ __all__ = [
     "ServiceEngine",
     "AutoscalerConfig",
     "TraceSource",
+    "StreamingTraceSource",
     "ClosedLoopClient",
     "ClosedLoopSource",
     "InterleavedShardMap",

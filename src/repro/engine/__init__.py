@@ -4,28 +4,37 @@
   :class:`WindowStart`, :class:`WindowDrain`, :class:`ClientThink`,
   :class:`ScaleCheck`) and the virtual-time :class:`EventHeap`.
 * :mod:`repro.engine.workload` — the :class:`WorkloadSource` interface
-  unifying open-loop traces (:class:`TraceSource`) and closed-loop
-  think-time clients (:class:`ClosedLoopSource`).
+  unifying open-loop traces (:class:`TraceSource`, lazily via
+  :class:`StreamingTraceSource`) and closed-loop think-time clients
+  (:class:`ClosedLoopSource`).
 * :mod:`repro.engine.core` — :class:`ServiceEngine` (SLO-aware admission,
-  backpressure, elastic fleets) and the :class:`ServiceReport` it returns.
+  backpressure, elastic fleets, record retention modes and periodic
+  telemetry) and the :class:`ServiceReport` it returns.
 
 :meth:`repro.service.QRAMService.serve` is a thin wrapper over this engine;
 richer scenarios go through :meth:`~repro.service.QRAMService.serve_workload`.
 """
 
-from repro.engine.core import AutoscalerConfig, ServiceEngine, ServiceReport
+from repro.engine.core import (
+    RETENTIONS,
+    AutoscalerConfig,
+    ServiceEngine,
+    ServiceReport,
+)
 from repro.engine.events import (
     Arrival,
     ClientThink,
     Event,
     EventHeap,
     ScaleCheck,
+    TelemetryTick,
     WindowDrain,
     WindowStart,
 )
 from repro.engine.workload import (
     ClosedLoopClient,
     ClosedLoopSource,
+    StreamingTraceSource,
     TraceSource,
     WorkloadSource,
 )
@@ -34,8 +43,10 @@ __all__ = [
     "ServiceEngine",
     "ServiceReport",
     "AutoscalerConfig",
+    "RETENTIONS",
     "WorkloadSource",
     "TraceSource",
+    "StreamingTraceSource",
     "ClosedLoopClient",
     "ClosedLoopSource",
     "EventHeap",
@@ -45,4 +56,5 @@ __all__ = [
     "WindowStart",
     "WindowDrain",
     "ScaleCheck",
+    "TelemetryTick",
 ]

@@ -17,7 +17,9 @@ shared memory under live contention needs:
   issues each client's next request only after its previous completion
   (think-time feedback), while :class:`~repro.engine.workload.TraceSource`
   replays open-loop traces bit-for-bit like the legacy
-  ``QRAMService.serve`` loop;
+  ``QRAMService.serve`` loop and
+  :class:`~repro.engine.workload.StreamingTraceSource` pulls a lazy trace
+  one arrival at a time;
 * **SLO-aware admission** — per-request deadlines (EDF ordering via
   ``policy="edf"``), bounded per-shard queues that reject on overflow, and
   optional shedding of queued requests whose deadline already expired, all
@@ -30,12 +32,24 @@ shared memory under live contention needs:
   virtual-distillation retry spends up to ``max_distillation_copies``
   parallel copies (Sec. 8.2) to lift a shard over the target with the
   copies' layer cost charged to the window, and batches are capped so
-  pipelining-depth degradation never drags an admitted slot below its SLO;
+  pipelining-depth degradation never drags an admitted slot below its SLO
+  (predictions are memoized per ``(shard, occupancy)`` — the hot path
+  never re-derives them);
 * **elastic fleets** — an :class:`AutoscalerConfig` adds or retires
   full-memory replicas (built through
   :func:`repro.baselines.registry.build_backend`; encoded variants by
   ``"<architecture>@d<k>"`` name) from queue-depth watermarks, rebalancing
-  queued work onto fresh replicas.
+  queued work onto fresh replicas;
+* **streaming telemetry** — every served / rejected / window / scale
+  record flows through a :class:`~repro.metrics.sinks.RecordSink` chosen
+  by the engine's ``retention`` mode *and* the online
+  :class:`~repro.metrics.streaming.StreamingServiceAggregator`, so
+  ``retention="none"`` serves million-query workloads in memory
+  independent of request count while still reporting full
+  :class:`~repro.metrics.service_stats.ServiceStats`; a periodic
+  :class:`TelemetryTick` emits time-windowed
+  :class:`~repro.metrics.streaming.IntervalStats` (throughput, queue
+  depths, rejection rates, fidelity) so long runs expose a time series.
 """
 
 from __future__ import annotations
@@ -49,6 +63,7 @@ from repro.engine.events import (
     ClientThink,
     EventHeap,
     ScaleCheck,
+    TelemetryTick,
     WindowDrain,
     WindowStart,
 )
@@ -65,6 +80,11 @@ from repro.metrics.service_stats import (
     WindowRecord,
     summarize_service,
 )
+from repro.metrics.sinks import ListSink, NullSink, RecordSink, SamplingSink
+from repro.metrics.streaming import IntervalStats, StreamingServiceAggregator
+
+#: Retention modes for the engine's per-request records.
+RETENTIONS = ("full", "sampled", "none")
 
 
 def _distilled(fidelity: float, copies: int) -> float:
@@ -73,6 +93,40 @@ def _distilled(fidelity: float, copies: int) -> float:
     if copies <= 1:
         return fidelity
     return 1.0 - distilled_infidelity(1.0 - fidelity, copies)
+
+
+class _SeenIds:
+    """Exact duplicate detection that stays O(1) for monotone id streams.
+
+    The engine must refuse duplicate query ids, but a plain ``set`` grows
+    with the request count — the one bookkeeping structure that would
+    break bounded-memory serving.  Generators assign ids ``0, 1, 2, ...``
+    in arrival order, so this tracker keeps a *contiguous-prefix
+    watermark* (every id in ``[0, watermark]`` seen) plus a sparse
+    overflow set that drains back into the watermark as gaps fill.  For
+    the monotone streams every trace and closed-loop source produces, the
+    overflow set stays empty; arbitrary (sparse or out-of-order) ids
+    remain correct and merely fall back to set behaviour.
+    """
+
+    __slots__ = ("_watermark", "_sparse")
+
+    def __init__(self) -> None:
+        self._watermark = -1
+        self._sparse: set[int] = set()
+
+    def add(self, query_id: int) -> bool:
+        """Record one id; True when it was already seen."""
+        if 0 <= query_id <= self._watermark or query_id in self._sparse:
+            return True
+        self._sparse.add(query_id)
+        while self._watermark + 1 in self._sparse:
+            self._watermark += 1
+            self._sparse.discard(self._watermark)
+        return False
+
+    def __len__(self) -> int:
+        return (self._watermark + 1) + len(self._sparse)
 
 
 @dataclass(frozen=True)
@@ -118,13 +172,25 @@ class ServiceReport:
     """Everything the engine observed while serving one workload.
 
     Attributes:
-        served: one record per completed query, in completion order.
-        windows: one record per executed pipeline window.
-        stats: aggregated per-tenant / per-shard / per-backend statistics.
+        served: completed-query records, in completion order — every one
+            under ``retention="full"``, a uniform reservoir sample under
+            ``"sampled"``, empty under ``"none"`` (``stats`` always covers
+            the whole run).
+        windows: executed pipeline windows (retained per the same mode).
+        stats: aggregated per-tenant / per-shard / per-backend statistics —
+            the exact batch summary under full retention, the streaming
+            aggregates (exact counts and means, sketched percentiles)
+            otherwise.
         outputs: per-query output amplitudes over global ``(address, bus)``
-            pairs (empty when serving timing-only).
-        rejected: requests refused by backpressure or shed past deadline.
-        scale_events: elastic-fleet transitions taken by the autoscaler.
+            pairs (populated only on functional runs under full retention).
+        rejected: requests refused by backpressure or shed past deadline
+            (retained per the retention mode).
+        scale_events: elastic-fleet transitions taken by the autoscaler
+            (retained per the retention mode, like every record stream).
+        telemetry: time-windowed interval samples, one per
+            :class:`~repro.engine.events.TelemetryTick` (empty unless the
+            engine was given a ``telemetry_interval``).
+        retention: the retention mode the run used.
     """
 
     served: list[ServedQuery]
@@ -133,12 +199,19 @@ class ServiceReport:
     outputs: dict[int, dict[tuple[int, int], complex]] = field(default_factory=dict)
     rejected: list[RejectedQuery] = field(default_factory=list)
     scale_events: list[ScaleEvent] = field(default_factory=list)
+    telemetry: list[IntervalStats] = field(default_factory=list)
+    retention: str = "full"
     _result_index: dict[int, ServedQuery] | None = field(
         default=None, init=False, repr=False, compare=False
     )
 
     def result_for(self, query_id: int) -> ServedQuery:
-        """The served record of one query id (O(1) after the first call)."""
+        """The served record of one query id (O(1) after the first call).
+
+        Only retained records are indexed: under ``retention="sampled"`` /
+        ``"none"`` a completed query may raise ``KeyError`` here even
+        though it is counted in ``stats``.
+        """
         if self._result_index is None:
             self._result_index = {r.query_id: r for r in self.served}
         try:
@@ -169,6 +242,28 @@ class ServiceEngine:
             query's ``min_fidelity``; each extra copy consumes one window
             slot and one admission interval of backend time.  1 disables
             the retry.
+        retention: what happens to the per-request records —
+            ``"full"`` keeps every record and reproduces the historical
+            batch :class:`ServiceStats` byte for byte; ``"sampled"`` keeps
+            a fixed-size uniform reservoir (``sample_size`` per stream)
+            and reports the streaming aggregates; ``"none"`` keeps no
+            records at all, serving any request count in bounded memory.
+        sample_size: reservoir capacity per record stream under
+            ``retention="sampled"``.
+        sample_seed: RNG seed of the reservoir sampler.
+        telemetry_interval: when set, emit one
+            :class:`~repro.metrics.streaming.IntervalStats` every this
+            many raw layers (the report's ``telemetry`` time series).
+        sink: optional extra :class:`~repro.metrics.sinks.RecordSink` that
+            receives *every* served / rejected / window / scale record
+            regardless of retention — e.g. a
+            :class:`~repro.metrics.sinks.JsonlSink` for durable full
+            telemetry next to a bounded-memory run.
+
+    Engines are reusable: ``run`` resets all per-run state (queues, seen
+    ids, busy times, telemetry, caches) on entry, so consecutive runs of
+    the same engine are independent and identical given identical
+    workloads.
     """
 
     def __init__(
@@ -179,11 +274,24 @@ class ServiceEngine:
         shed_expired: bool = False,
         autoscaler: AutoscalerConfig | None = None,
         max_distillation_copies: int = 1,
+        retention: str = "full",
+        sample_size: int = 1024,
+        sample_seed: int = 0,
+        telemetry_interval: float | None = None,
+        sink: RecordSink | None = None,
     ) -> None:
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
         if max_distillation_copies < 1:
             raise ValueError("max_distillation_copies must be >= 1")
+        if retention not in RETENTIONS:
+            raise ValueError(
+                f"unknown retention {retention!r}; expected one of {RETENTIONS}"
+            )
+        if sample_size < 1:
+            raise ValueError("sample_size must be >= 1")
+        if telemetry_interval is not None and telemetry_interval <= 0:
+            raise ValueError("telemetry_interval must be positive")
         if autoscaler is not None:
             placement = getattr(fleet, "placement", None)
             if placement != "shortest-queue":
@@ -202,14 +310,29 @@ class ServiceEngine:
         self.shed_expired = shed_expired
         self.autoscaler = autoscaler
         self.max_distillation_copies = max_distillation_copies
+        self.retention = retention
+        self.sample_size = sample_size
+        self.sample_seed = sample_seed
+        self.telemetry_interval = telemetry_interval
+        self.sink = sink
 
     # ------------------------------------------------------------------ run
-    def run(self, source: WorkloadSource, clops: float = 1.0e6) -> ServiceReport:
-        """Serve one workload to completion and report what happened.
+    def _make_sink(self, stream: int) -> RecordSink:
+        """One per-run record sink for the engine's retention mode."""
+        if self.retention == "full":
+            return ListSink()
+        if self.retention == "sampled":
+            # Offset the seed per stream so the served / window / rejected
+            # reservoirs draw independent samples.
+            return SamplingSink(self.sample_size, seed=self.sample_seed + stream)
+        return NullSink()
 
-        Args:
-            source: the traffic (open-loop trace or closed-loop clients).
-            clops: hardware clock used for the queries-per-second numbers.
+    def _reset(self, source: WorkloadSource) -> None:
+        """(Re)initialize every piece of per-run state.
+
+        Called at the top of every ``run``, which makes engines reusable:
+        nothing from a previous run — seen ids, queues, busy times, scaled
+        replicas, caches, telemetry — leaks into the next.
         """
         fleet = self.fleet
         self._source = source
@@ -222,36 +345,90 @@ class ServiceEngine:
         self._window_pending = [False] * num_shards
         self._active = [True] * num_shards
         self._max_depth = {shard: 0 for shard in range(num_shards)}
-        self._seen_ids: set[int] = set()
+        self._seen_ids = _SeenIds()
         self._local_amps: dict[int, dict[int, complex]] = {}
         self._copies: dict[int, int] = {}
-        self._served: list[ServedQuery] = []
-        self._windows: list[WindowRecord] = []
         self._outputs: dict[int, dict[tuple[int, int], complex]] = {}
-        self._rejected: list[RejectedQuery] = []
-        self._scale_events: list[ScaleEvent] = []
+        # The observation path: per-stream sinks + the online aggregates.
+        self._served_sink = self._make_sink(0)
+        self._window_sink = self._make_sink(1)
+        self._rejected_sink = self._make_sink(2)
+        self._scale_sink = self._make_sink(3)
+        self._aggregator = StreamingServiceAggregator()
+        # Memoized per-(shard, occupancy) fidelity predictions (satellite:
+        # the hot path called backend.predicted_window_fidelities
+        # O(queue x copies) per window); invalidated on fleet changes.
+        self._fidelity_cache: dict[tuple[int, int], tuple[float, ...]] = {}
+        # Traffic events (arrivals / thinks / window starts / drains) still
+        # in the heap — the liveness signal recurring ticks (ScaleCheck,
+        # TelemetryTick) use to decide whether to reschedule without
+        # keeping each other alive forever.
+        self._traffic_events = 0
+        # Telemetry interval accumulators.
+        self._telemetry: list[IntervalStats] = []
+        self._tick_start = 0.0
+        self._tick_arrivals = 0
+        self._tick_served = 0
+        self._tick_rejected = 0
+        self._tick_shed = 0
+        self._tick_windows = 0
+        self._tick_fidelity_total = 0.0
+        self._tick_fidelity_count = 0
+        self._now = 0.0
 
+    def run(self, source: WorkloadSource, clops: float = 1.0e6) -> ServiceReport:
+        """Serve one workload to completion and report what happened.
+
+        Args:
+            source: the traffic (open-loop trace — materialized or
+                streaming — or closed-loop clients).
+            clops: hardware clock used for the queries-per-second numbers.
+        """
+        self._reset(source)
         source.start(self)
         if self.autoscaler is not None:
             self._heap.push(self.autoscaler.period, ScaleCheck())
+        if self.telemetry_interval is not None:
+            self._heap.push(self.telemetry_interval, TelemetryTick())
 
         while self._heap:
             now, event = self._heap.pop()
+            self._now = now
             if isinstance(event, Arrival):
+                self._traffic_events -= 1
                 self._on_arrival(now, event.request)
             elif isinstance(event, ClientThink):
+                self._traffic_events -= 1
                 request = source.next_request(event.client_id, now)
                 if request is not None:
                     self._on_arrival(now, request)
             elif isinstance(event, WindowDrain):
+                self._traffic_events -= 1
                 self._maybe_start(event.shard, now)
             elif isinstance(event, ScaleCheck):
                 self._on_scale_check(now)
+            elif isinstance(event, TelemetryTick):
+                self._on_telemetry_tick(now)
             elif isinstance(event, WindowStart):
+                self._traffic_events -= 1
                 self._on_window_start(now, event.shard)
 
-        if not self._served:
-            offered = len(self._rejected)
+        if self.telemetry_interval is not None and (
+            self._tick_arrivals
+            or self._tick_served
+            or self._tick_rejected
+            or self._tick_windows
+        ):
+            # Safety net: a tick reschedules while work remains, so by
+            # construction nothing countable happens after the final tick
+            # — but if that invariant ever breaks, flush the activity
+            # rather than lose it.  Time alone (e.g. a trailing ScaleCheck
+            # popping after the last tick) does not warrant an extra
+            # all-zero interval off the tick grid.
+            self._flush_interval(max(self._now, self._tick_start))
+        served_count = self._aggregator.served_count
+        if not served_count:
+            offered = self._aggregator.rejected_count
             if offered:
                 raise ValueError(
                     f"no queries were served: all {offered} offered requests "
@@ -259,44 +436,104 @@ class ServiceEngine:
                 )
             raise ValueError("the workload source produced no requests")
 
-        self._served.sort(key=lambda s: (s.finish_layer, s.query_id))
-        stats = summarize_service(
-            self._served,
-            self._windows,
-            self._max_depth,
-            clops=clops,
-            rejected=self._rejected,
+        served = list(self._served_sink.records) if self.retention != "none" else []
+        served.sort(key=lambda s: (s.finish_layer, s.query_id))
+        windows = list(self._window_sink.records) if self.retention != "none" else []
+        rejected = (
+            list(self._rejected_sink.records) if self.retention != "none" else []
         )
+        scale_events = (
+            list(self._scale_sink.records) if self.retention != "none" else []
+        )
+        if self.retention == "full":
+            # The historical batch path, byte for byte: aggregate the
+            # complete record lists exactly as the legacy engine did.
+            stats = summarize_service(
+                served,
+                windows,
+                self._max_depth,
+                clops=clops,
+                rejected=rejected,
+            )
+        else:
+            stats = self._aggregator.to_stats(self._max_depth, clops=clops)
         return ServiceReport(
-            served=self._served,
-            windows=self._windows,
+            served=served,
+            windows=windows,
             stats=stats,
             outputs=self._outputs,
-            rejected=self._rejected,
-            scale_events=self._scale_events,
+            rejected=rejected,
+            scale_events=scale_events,
+            telemetry=self._telemetry,
+            retention=self.retention,
         )
 
     # ----------------------------------------------- source-facing scheduling
     def submit(self, request: QueryRequest) -> None:
-        """Schedule one request's arrival (at ``max(0, request_time)``).
+        """Schedule one request's arrival at its ``request_time``.
 
-        Validation (amplitudes, duplicate ids) happens when the arrival is
-        processed — the one path every request takes, trace or closed-loop.
+        The arrival clock starts at 0: a negative ``request_time`` is
+        refused here (it would silently inflate every latency and
+        queue-delay statistic derived from it).  Validation of amplitudes
+        and duplicate ids happens when the arrival is processed — the one
+        path every request takes, trace or closed-loop.
         """
-        self._heap.push(max(0.0, request.request_time), Arrival(request))
+        if request.request_time < 0:
+            raise ValueError(
+                f"request {request.query_id} has negative request_time "
+                f"{request.request_time}; arrivals must be at time >= 0"
+            )
+        self._traffic_events += 1
+        self._heap.push(request.request_time, Arrival(request))
 
     def schedule_think(self, client_id: int, time: float) -> None:
         """Schedule a closed-loop client's next issue instant."""
+        self._traffic_events += 1
         self._heap.push(max(0.0, time), ClientThink(client_id))
+
+    # ------------------------------------------------------------ recording
+    def _record_served(self, record: ServedQuery) -> None:
+        self._served_sink.append(record)
+        self._aggregator.observe_served(record)
+        if self.sink is not None:
+            self.sink.append(record)
+        self._tick_served += 1
+        if record.fidelity is not None:
+            self._tick_fidelity_total += record.fidelity
+            self._tick_fidelity_count += 1
+
+    def _record_window(self, record: WindowRecord) -> None:
+        self._window_sink.append(record)
+        self._aggregator.observe_window(record)
+        if self.sink is not None:
+            self.sink.append(record)
+        self._tick_windows += 1
+
+    def _record_rejected(self, record: RejectedQuery) -> None:
+        self._rejected_sink.append(record)
+        self._aggregator.observe_rejected(record)
+        if self.sink is not None:
+            self.sink.append(record)
+        self._tick_rejected += 1
+        if record.reason == REJECT_DEADLINE_EXPIRED:
+            self._tick_shed += 1
+
+    def _record_scale(self, record: ScaleEvent) -> None:
+        # Scale events follow the retention mode like every other record
+        # stream: O(transitions) is not O(requests), but an oscillating
+        # autoscaler on a long-haul run would still grow without bound.
+        self._scale_sink.append(record)
+        if self.sink is not None:
+            self.sink.append(record)
 
     # ------------------------------------------------------------- handlers
     def _on_arrival(self, now: float, request: QueryRequest) -> None:
-        if request.query_id in self._seen_ids:
+        self._tick_arrivals += 1
+        if self._seen_ids.add(request.query_id):
             raise ValueError(
                 f"duplicate query_id {request.query_id} in trace; "
                 "query ids key the per-request results and must be unique"
             )
-        self._seen_ids.add(request.query_id)
         if request.address_amplitudes is None:
             raise ValueError("service requests require address amplitudes")
         if request.min_fidelity is not None and not 0.0 < request.min_fidelity <= 1.0:
@@ -332,6 +569,23 @@ class ServiceEngine:
         self._max_depth[shard] = max(self._max_depth[shard], len(queue))
         self._maybe_start(shard, now)
 
+    def _predicted_fidelities(self, shard: int, occupancy: int) -> tuple[float, ...]:
+        """Memoized ``backend.predicted_window_fidelities(occupancy)``.
+
+        The admission hot path evaluates the same small set of
+        ``(shard, occupancy)`` predictions for every arrival and every
+        window (O(queue x copies) backend calls per window before
+        memoization).  The cache is invalidated whenever the fleet
+        changes — scale-up building or reactivating a replica — and at the
+        start of every run.
+        """
+        key = (shard, occupancy)
+        cached = self._fidelity_cache.get(key)
+        if cached is None:
+            cached = self._backends[shard].predicted_window_fidelities(occupancy)
+            self._fidelity_cache[key] = cached
+        return cached
+
     def _feasible_copies(self, shard: int, request: QueryRequest) -> int | None:
         """Fewest parallel copies that lift the shard's predicted fidelity
         over the request's SLO (1 without an SLO or when the bare prediction
@@ -346,10 +600,9 @@ class ServiceEngine:
         """
         if request.min_fidelity is None:
             return 1
-        backend = self._backends[shard]
         most = min(self.max_distillation_copies, self._window_sizes[shard])
         for copies in range(1, most + 1):
-            worst = min(backend.predicted_window_fidelities(copies))
+            worst = min(self._predicted_fidelities(shard, copies))
             if _distilled(worst, copies) >= request.min_fidelity:
                 return copies
         return None
@@ -363,9 +616,8 @@ class ServiceEngine:
         slots — request ``j`` owning the contiguous slot run of its copies.
         Each request's prediction is its worst copy slot, distilled.
         """
-        backend = self._backends[shard]
         copies = [self._copies.get(r.query_id, 1) for r in batch]
-        expanded = backend.predicted_window_fidelities(sum(copies))
+        expanded = self._predicted_fidelities(shard, sum(copies))
         predictions = []
         offset = 0
         for count in copies:
@@ -379,6 +631,8 @@ class ServiceEngine:
     ) -> None:
         """Record one refusal and let the source react (closed-loop clients
         pace on rejections exactly as they pace on completions)."""
+        self._copies.pop(request.query_id, None)
+        self._local_amps.pop(request.query_id, None)
         record = RejectedQuery(
             query_id=request.query_id,
             tenant=request.qpu,
@@ -388,7 +642,7 @@ class ServiceEngine:
             deadline=request.deadline,
             min_fidelity=request.min_fidelity,
         )
-        self._rejected.append(record)
+        self._record_rejected(record)
         self._source.on_rejection(self, record)
 
     def _maybe_start(self, shard: int, now: float) -> None:
@@ -400,6 +654,7 @@ class ServiceEngine:
             and self._busy_until[shard] <= now
         ):
             self._window_pending[shard] = True
+            self._traffic_events += 1
             self._heap.push(now, WindowStart(shard))
 
     def _on_window_start(self, now: float, shard: int) -> None:
@@ -494,7 +749,10 @@ class ServiceEngine:
         predictions = self._batch_predictions(shard, batch)
 
         for slot, request in enumerate(batch):
-            if result.outputs[slot] is not None:
+            # Functional outputs are per-request state the report keys by
+            # query id — retaining them for every query is exactly the
+            # unbounded growth the sampled / none modes exist to avoid.
+            if result.outputs[slot] is not None and self.retention == "full":
                 self._outputs[request.query_id] = self.fleet.shard_map.to_global_outputs(
                     shard, result.outputs[slot]
                 )
@@ -521,13 +779,13 @@ class ServiceEngine:
                 min_fidelity=request.min_fidelity,
                 distillation_copies=copies,
             )
-            self._served.append(record)
+            self._record_served(record)
             self._source.on_completion(self, record)
         # Distillation copies are extra admissions into the same window:
         # each one keeps the backend busy for one more admission interval.
         extra_copies = sum(self._copies.get(r.query_id, 1) - 1 for r in batch)
         total_layers = result.total_layers + float(extra_copies * result.interval)
-        self._windows.append(
+        self._record_window(
             WindowRecord(
                 shard=shard,
                 admit_layer=admit,
@@ -537,7 +795,14 @@ class ServiceEngine:
                 architecture=backend.name,
             )
         )
+        # The per-query routing state is dead once the window is recorded;
+        # dropping it keeps the engine's footprint independent of how many
+        # requests a run serves.
+        for request in batch:
+            self._copies.pop(request.query_id, None)
+            self._local_amps.pop(request.query_id, None)
         self._busy_until[shard] = admit + total_layers
+        self._traffic_events += 1
         self._heap.push(self._busy_until[shard], WindowDrain(shard))
 
     # ------------------------------------------------------------- placement
@@ -556,6 +821,72 @@ class ServiceEngine:
             ),
         )
 
+    # ------------------------------------------------------------- telemetry
+    def _work_remains(self, now: float) -> bool:
+        """Whether any serving activity is pending or possible.
+
+        Counts queued requests, busy shards and *traffic* events still in
+        the heap — deliberately not other recurring ticks, so a
+        ScaleCheck and a TelemetryTick can coexist without keeping each
+        other (and the run) alive forever.
+        """
+        return (
+            self._traffic_events > 0
+            or any(self._queues[shard] for shard in self._active_shards())
+            or any(busy > now for busy in self._busy_until)
+        )
+
+    def _flush_interval(self, end: float) -> None:
+        """Emit one :class:`IntervalStats` covering ``(_tick_start, end]``."""
+        span = end - self._tick_start
+        active = self._active_shards()
+        depths = [len(self._queues[shard]) for shard in active]
+        self._telemetry.append(
+            IntervalStats(
+                start_layer=self._tick_start,
+                end_layer=end,
+                arrivals=self._tick_arrivals,
+                served=self._tick_served,
+                rejected=self._tick_rejected,
+                shed=self._tick_shed,
+                windows=self._tick_windows,
+                throughput_queries_per_layer=(
+                    self._tick_served / span if span > 0 else 0.0
+                ),
+                queue_depth_total=sum(depths),
+                queue_depth_max=max(depths, default=0),
+                # Rate over the interval's *dispositions* (completions +
+                # refusals), which are all counted at the instant they
+                # happen — dividing by arrivals would be incoherent when a
+                # request sheds intervals after it arrived (rates over 1,
+                # or 0.0 despite sheds).
+                rejection_rate=(
+                    self._tick_rejected
+                    / (self._tick_served + self._tick_rejected)
+                    if (self._tick_served + self._tick_rejected)
+                    else 0.0
+                ),
+                mean_fidelity=(
+                    self._tick_fidelity_total / self._tick_fidelity_count
+                    if self._tick_fidelity_count
+                    else None
+                ),
+            )
+        )
+        self._tick_start = end
+        self._tick_arrivals = 0
+        self._tick_served = 0
+        self._tick_rejected = 0
+        self._tick_shed = 0
+        self._tick_windows = 0
+        self._tick_fidelity_total = 0.0
+        self._tick_fidelity_count = 0
+
+    def _on_telemetry_tick(self, now: float) -> None:
+        self._flush_interval(now)
+        if self._work_remains(now):
+            self._heap.push(now + self.telemetry_interval, TelemetryTick())
+
     # ----------------------------------------------------------- autoscaling
     def _on_scale_check(self, now: float) -> None:
         config = self.autoscaler
@@ -565,12 +896,7 @@ class ServiceEngine:
             self._scale_up(now, depth)
         elif depth <= config.low_watermark and len(active) > config.min_shards:
             self._scale_down(now, depth)
-        work_remains = (
-            bool(self._heap)
-            or any(self._queues[shard] for shard in self._active_shards())
-            or any(busy > now for busy in self._busy_until)
-        )
-        if work_remains:
+        if self._work_remains(now):
             self._heap.push(now + config.period, ScaleCheck())
 
     def _scale_up(self, now: float, depth: int) -> None:
@@ -612,7 +938,11 @@ class ServiceEngine:
             self._window_pending.append(False)
             self._active.append(True)
             self._max_depth[shard] = 0
-        self._scale_events.append(
+        # The fleet changed: memoized predictions may refer to retired or
+        # rebuilt replicas, so drop them wholesale (they re-fill on the
+        # next admissions).
+        self._fidelity_cache.clear()
+        self._record_scale(
             ScaleEvent(
                 time=now,
                 action="up",
@@ -674,7 +1004,7 @@ class ServiceEngine:
             return
         shard = max(candidates)
         self._active[shard] = False
-        self._scale_events.append(
+        self._record_scale(
             ScaleEvent(
                 time=now,
                 action="down",

@@ -14,7 +14,11 @@ legacy batch-window loop did:
 3. :class:`ScaleCheck` — the autoscaler observes the post-drain queue
    depths;
 4. :class:`WindowStart` — idle shards with queued work admit one pipeline
-   window each.
+   window each;
+5. :class:`TelemetryTick` — the periodic telemetry flush observes the
+   instant last, after every admission at ``t`` has resolved, so its
+   queue-depth snapshot never counts work a window at the same instant
+   already absorbed.
 
 Ties within a priority level resolve in scheduling order (a monotone
 sequence number), so every run is exactly reproducible.
@@ -68,7 +72,16 @@ class WindowStart:
     PRIORITY: ClassVar[int] = 3
 
 
-Event = Union[Arrival, ClientThink, WindowDrain, ScaleCheck, WindowStart]
+@dataclass(frozen=True)
+class TelemetryTick:
+    """Periodic telemetry flush: emit one time-windowed interval sample."""
+
+    PRIORITY: ClassVar[int] = 4
+
+
+Event = Union[
+    Arrival, ClientThink, WindowDrain, ScaleCheck, WindowStart, TelemetryTick
+]
 
 
 class EventHeap:

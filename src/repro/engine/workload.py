@@ -6,7 +6,11 @@ are provided:
 * :class:`TraceSource` — open loop: a pre-materialized list of
   :class:`repro.core.query.QueryRequest` whose arrival times never react to
   service latency (the Poisson / bursty traces of
-  :mod:`repro.workloads.generators`).
+  :mod:`repro.workloads.generators`).  :class:`StreamingTraceSource` is the
+  bounded-memory variant: it pulls a *time-ordered iterator* of requests
+  one arrival at a time, so million-query traces (the lazy
+  ``iter_poisson_trace`` / ``iter_bursty_trace`` generators) are never
+  materialized and the event heap holds at most one future arrival.
 * :class:`ClosedLoopSource` — closed loop: ``N`` clients that alternate one
   outstanding query with ``think_layers`` of local processing, the QPU
   query/process loop of Fig. 7 (the same behaviour
@@ -23,7 +27,7 @@ elapses.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.core.query import QueryRequest
@@ -77,6 +81,59 @@ class TraceSource(WorkloadSource):
     def start(self, engine) -> None:
         for request in self.requests:
             engine.submit(request)
+
+
+#: Pseudo client id a :class:`StreamingTraceSource` paces its arrivals on.
+_STREAM_CLIENT = -1
+
+
+class StreamingTraceSource(WorkloadSource):
+    """Open-loop traffic pulled lazily from a time-ordered request iterator.
+
+    Where :class:`TraceSource` schedules every arrival up front (heap and
+    trace both O(requests)), this source holds exactly one pending request:
+    each arrival, once delivered, pulls the next from the iterator and
+    schedules it.  Peak memory is independent of trace length — the
+    serving mode of the million-query scale benchmark.
+
+    Requests must arrive from the iterator in nondecreasing
+    ``request_time`` order with nonnegative times (the order
+    :class:`TraceSource` would sort them into; lazily generated traces are
+    produced that way).  For a time-sorted trace the event sequence — and
+    therefore every report — is identical to draining the materialized
+    trace through :class:`TraceSource`, which is pinned by test.
+    """
+
+    def __init__(self, requests: Iterable[QueryRequest]) -> None:
+        self._requests = requests
+        self._pending: QueryRequest | None = None
+        self._last_time = 0.0
+
+    def start(self, engine) -> None:
+        self._engine = engine
+        self._iterator = iter(self._requests)
+        self._pending = next(self._iterator, None)
+        self._last_time = 0.0
+        if self._pending is None:
+            raise ValueError("at least one request is required")
+        self._schedule_pending(engine)
+
+    def _schedule_pending(self, engine) -> None:
+        request = self._pending
+        if request.request_time < self._last_time:
+            raise ValueError(
+                "streaming traces must be sorted by request_time "
+                f"(saw {request.request_time} after {self._last_time})"
+            )
+        self._last_time = request.request_time
+        engine.schedule_think(_STREAM_CLIENT, request.request_time)
+
+    def next_request(self, client_id: int, now: float) -> QueryRequest | None:
+        request = self._pending
+        self._pending = next(self._iterator, None)
+        if self._pending is not None:
+            self._schedule_pending(self._engine)
+        return request
 
 
 @dataclass

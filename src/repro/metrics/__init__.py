@@ -8,6 +8,11 @@
   classical-memory-swap time budget (Table 2).
 * :mod:`repro.metrics.service_stats` — per-tenant / per-shard serving
   statistics for the traffic-facing service layer (:mod:`repro.service`).
+* :mod:`repro.metrics.streaming` — online (bounded-memory) aggregates and
+  quantile sketches behind the engine's ``retention="sampled"`` /
+  ``"none"`` modes and its periodic telemetry ticks.
+* :mod:`repro.metrics.sinks` — pluggable record destinations (keep / sample
+  / drop / JSON-lines tee) for the serving engine's observation path.
 """
 
 from repro.metrics.resources import ResourceEstimate, resource_estimate, table1_rows
@@ -34,6 +39,21 @@ from repro.metrics.service_stats import (
     WindowRecord,
     summarize_service,
 )
+from repro.metrics.sinks import (
+    JsonlSink,
+    ListSink,
+    NullSink,
+    RecordSink,
+    SamplingSink,
+    load_jsonl,
+)
+from repro.metrics.streaming import (
+    IntervalStats,
+    LatencySketch,
+    P2Quantile,
+    StreamingServiceAggregator,
+    StreamingStat,
+)
 
 __all__ = [
     "ResourceEstimate",
@@ -57,4 +77,15 @@ __all__ = [
     "TenantStats",
     "WindowRecord",
     "summarize_service",
+    "RecordSink",
+    "ListSink",
+    "SamplingSink",
+    "JsonlSink",
+    "NullSink",
+    "load_jsonl",
+    "StreamingStat",
+    "P2Quantile",
+    "LatencySketch",
+    "IntervalStats",
+    "StreamingServiceAggregator",
 ]

@@ -1,0 +1,491 @@
+"""Online (single-pass, bounded-memory) serving statistics.
+
+The batch path in :mod:`repro.metrics.service_stats` aggregates *records* —
+one :class:`~repro.metrics.service_stats.ServedQuery` per completed request
+— so its memory and summarize time grow with the request count.  This
+module is the streaming alternative the engine uses under
+``retention="sampled"`` / ``retention="none"``: every record is folded into
+constant-size accumulators the moment it is produced and never stored.
+
+* :class:`StreamingStat` — count / sum / mean / min / max of one series.
+* :class:`P2Quantile` — the P² algorithm (Jain & Chlamtac, 1985): one
+  running quantile estimate from five markers, no sample storage.  Exact
+  below five observations, approximate beyond (error bounds are pinned
+  against exact percentiles in ``tests/test_telemetry.py``).
+* :class:`LatencySketch` — the p50 / p95 / p99 bundle used for latency.
+* :class:`StreamingServiceAggregator` — the full
+  :class:`~repro.metrics.service_stats.ServiceStats` surface (global,
+  per-tenant, per-shard, per-backend, rejection and SLO accounting)
+  maintained online; ``to_stats`` materializes the summary at any point.
+* :class:`IntervalStats` — one time-windowed telemetry sample (throughput,
+  queue depths, rejection rate, fidelity) emitted by the engine's periodic
+  :class:`~repro.engine.events.TelemetryTick`.
+
+Memory is O(tenants + shards + backends), never O(requests): a
+million-query run aggregates through the same few kilobytes as a
+hundred-query run.  Counts, sums and extrema are exact; only the latency
+percentiles are sketched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.service_stats import (
+    REJECT_DEADLINE_EXPIRED,
+    REJECT_FIDELITY,
+    BackendStats,
+    RejectedQuery,
+    ServedQuery,
+    ServiceStats,
+    ShardStats,
+    TenantStats,
+    WindowRecord,
+    _percentile,
+)
+
+__all__ = [
+    "IntervalStats",
+    "LatencySketch",
+    "P2Quantile",
+    "StreamingServiceAggregator",
+    "StreamingStat",
+]
+
+
+class StreamingStat:
+    """Count / sum / mean / min / max of one series, in O(1) memory."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the series (0.0 when empty, matching ``_mean``)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class P2Quantile:
+    """One running quantile via the P² algorithm — five markers, no samples.
+
+    The estimator keeps five marker heights that track the minimum, the
+    target quantile, the quantile's half-way neighbours and the maximum,
+    adjusting them with a piecewise-parabolic update as observations
+    stream past.  Below five observations the buffered values give the
+    exact (linearly interpolated) percentile.
+    """
+
+    def __init__(self, quantile: float) -> None:
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.quantile = quantile
+        self._count = 0
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._increments = [
+            0.0, quantile / 2.0, quantile, (1.0 + quantile) / 2.0, 1.0
+        ]
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def add(self, value: float) -> None:
+        self._count += 1
+        heights = self._heights
+        if self._count <= 5:
+            heights.append(value)
+            heights.sort()
+            if self._count == 5:
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [
+                    1.0 + 4.0 * inc for inc in self._increments
+                ]
+            return
+
+        # Locate the cell the observation falls into, stretching the
+        # extreme markers when it lands outside the current range.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 3
+            for i in range(1, 4):
+                if value < heights[i]:
+                    cell = i - 1
+                    break
+        positions = self._positions
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        # Nudge the three interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if delta > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if not heights[i - 1] < candidate < heights[i + 1]:
+                    candidate = self._linear(i, step)
+                heights[i] = candidate
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (0.0 before any observation)."""
+        if not self._count:
+            return 0.0
+        if self._count <= 5:
+            return _percentile(self._heights, self.quantile * 100.0)
+        return self._heights[2]
+
+
+class LatencySketch:
+    """The p50 / p95 / p99 latency bundle of one streaming series."""
+
+    __slots__ = ("_p50", "_p95", "_p99")
+
+    def __init__(self) -> None:
+        self._p50 = P2Quantile(0.50)
+        self._p95 = P2Quantile(0.95)
+        self._p99 = P2Quantile(0.99)
+
+    def add(self, value: float) -> None:
+        self._p50.add(value)
+        self._p95.add(value)
+        self._p99.add(value)
+
+    @property
+    def p50(self) -> float:
+        return self._p50.value
+
+    @property
+    def p95(self) -> float:
+        return self._p95.value
+
+    @property
+    def p99(self) -> float:
+        return self._p99.value
+
+
+@dataclass(frozen=True)
+class IntervalStats:
+    """One time-windowed telemetry sample of a running service.
+
+    Emitted by the engine's periodic
+    :class:`~repro.engine.events.TelemetryTick`: counters cover the events
+    of the half-open interval ``(start_layer, end_layer]``; queue depths
+    are the instantaneous values at ``end_layer``.
+
+    Attributes:
+        start_layer / end_layer: bounds of the interval, raw layers.
+        arrivals: requests that arrived in the interval (served or not).
+        served: queries completed in the interval.
+        rejected: requests refused in the interval (all reasons, shed
+            included).
+        shed: the expired-deadline subset of ``rejected``.
+        windows: pipeline windows admitted in the interval.
+        throughput_queries_per_layer: ``served`` over the interval length.
+        queue_depth_total / queue_depth_max: queued requests summed / maxed
+            over the active shards at the tick instant.
+        rejection_rate: ``rejected`` over the interval's dispositions
+            (``served + rejected``, both counted at the instant they
+            happen, so the rate is always in [0, 1] even when a request
+            sheds intervals after it arrived); 0.0 on an idle interval.
+        mean_fidelity: mean fidelity of the queries served in the interval
+            (``None`` when none carried a fidelity).
+    """
+
+    start_layer: float
+    end_layer: float
+    arrivals: int
+    served: int
+    rejected: int
+    shed: int
+    windows: int
+    throughput_queries_per_layer: float
+    queue_depth_total: int
+    queue_depth_max: int
+    rejection_rate: float
+    mean_fidelity: float | None
+
+
+@dataclass
+class _GroupAggregate:
+    """Shared accumulator behind the tenant / shard / backend views."""
+
+    queries: int = 0
+    latency: StreamingStat = field(default_factory=StreamingStat)
+    queue_delay: StreamingStat = field(default_factory=StreamingStat)
+    fidelity: StreamingStat = field(default_factory=StreamingStat)
+    deadline_demand: int = 0
+    deadline_misses: int = 0
+    slo_demand: int = 0
+    slo_misses: int = 0
+    # Windows (shard / backend views only).
+    windows: int = 0
+    batch_total: int = 0
+    busy_layers: float = 0.0
+    architecture: str = ""
+    shard_ids: set[int] = field(default_factory=set)
+    # Rejections (tenant view only).
+    shed: int = 0
+    fidelity_rejected: int = 0
+
+    def observe_served(self, record: ServedQuery) -> None:
+        self.queries += 1
+        self.latency.add(record.latency_layers)
+        self.queue_delay.add(record.queue_delay_layers)
+        if record.fidelity is not None:
+            self.fidelity.add(record.fidelity)
+        if record.deadline is not None:
+            self.deadline_demand += 1
+            if record.missed_deadline:
+                self.deadline_misses += 1
+        if record.min_fidelity is not None:
+            self.slo_demand += 1
+            if record.missed_fidelity_slo:
+                self.slo_misses += 1
+
+    def observe_window(self, record: WindowRecord) -> None:
+        self.windows += 1
+        self.batch_total += record.batch_size
+        self.busy_layers += record.total_layers
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batch_total / self.windows if self.windows else 0.0
+
+
+class StreamingServiceAggregator:
+    """The full :class:`ServiceStats` surface, maintained one record at a time.
+
+    The engine feeds every :class:`ServedQuery`, :class:`WindowRecord` and
+    :class:`RejectedQuery` through :meth:`observe_served` /
+    :meth:`observe_window` / :meth:`observe_rejected`;
+    :meth:`to_stats` materializes a :class:`ServiceStats` whose counts,
+    sums, means, extrema and rates are exact and whose latency percentiles
+    come from the P² sketches (global p50/p95/p99 and per-tenant p95).
+    Memory is O(tenants + shards + backends), independent of the number of
+    records observed.
+    """
+
+    def __init__(self) -> None:
+        self.served_count = 0
+        self.rejected_count = 0
+        self.shed_count = 0
+        self.fidelity_rejected_count = 0
+        self.makespan_layers = 0.0
+        self._global = _GroupAggregate()
+        self._latency_sketch = LatencySketch()
+        self._tenants: dict[int, _GroupAggregate] = {}
+        self._tenant_sketches: dict[int, P2Quantile] = {}
+        self._shards: dict[int, _GroupAggregate] = {}
+        self._backends: dict[str, _GroupAggregate] = {}
+
+    # ------------------------------------------------------------- observers
+    def _tenant(self, tenant: int) -> _GroupAggregate:
+        group = self._tenants.get(tenant)
+        if group is None:
+            group = self._tenants[tenant] = _GroupAggregate()
+            self._tenant_sketches[tenant] = P2Quantile(0.95)
+        return group
+
+    def observe_served(self, record: ServedQuery) -> None:
+        self.served_count += 1
+        if record.finish_layer > self.makespan_layers:
+            self.makespan_layers = record.finish_layer
+        self._global.observe_served(record)
+        self._latency_sketch.add(record.latency_layers)
+        self._tenant(record.tenant).observe_served(record)
+        self._tenant_sketches[record.tenant].add(record.latency_layers)
+        shard = self._shards.setdefault(record.shard, _GroupAggregate())
+        shard.observe_served(record)
+        if not shard.architecture:
+            shard.architecture = record.architecture
+        backend = self._backends.setdefault(record.architecture, _GroupAggregate())
+        backend.observe_served(record)
+        backend.shard_ids.add(record.shard)
+
+    def observe_window(self, record: WindowRecord) -> None:
+        self._shards.setdefault(record.shard, _GroupAggregate()).observe_window(
+            record
+        )
+        self._backends.setdefault(
+            record.architecture, _GroupAggregate()
+        ).observe_window(record)
+
+    def observe_rejected(self, record: RejectedQuery) -> None:
+        # Mirror the batch path's tenant universe: shed and
+        # fidelity-infeasible refusals surface per tenant (they are SLO
+        # misses), while queue-full backpressure is service-level only — a
+        # tenant whose whole demand bounced off a full queue must not
+        # appear as a phantom zero-query row that summarize_service would
+        # not report.
+        self.rejected_count += 1
+        if record.reason == REJECT_DEADLINE_EXPIRED:
+            self.shed_count += 1
+            self._tenant(record.tenant).shed += 1
+        elif record.reason == REJECT_FIDELITY:
+            self.fidelity_rejected_count += 1
+            self._tenant(record.tenant).fidelity_rejected += 1
+
+    # ----------------------------------------------------------- summarizing
+    def to_stats(
+        self,
+        max_queue_depth: dict[int, int] | None = None,
+        clops: float = 1.0e6,
+    ) -> ServiceStats:
+        """Materialize the running aggregates as a :class:`ServiceStats`.
+
+        Mirrors :func:`repro.metrics.service_stats.summarize_service`
+        record for record — identical counts, rates and extrema — with
+        sketched latency percentiles in place of the exact order
+        statistics.
+        """
+        if not self.served_count:
+            raise ValueError("at least one served query is required")
+        depths = max_queue_depth or {}
+        makespan = self.makespan_layers
+        seconds = makespan / clops if makespan > 0 else float("inf")
+
+        per_tenant = {}
+        for tenant in sorted(self._tenants):
+            group = self._tenants[tenant]
+            deadline_demand = group.deadline_demand + group.shed
+            deadline_misses = group.deadline_misses + group.shed
+            slo_demand = group.slo_demand + group.fidelity_rejected
+            slo_misses = group.slo_misses + group.fidelity_rejected
+            per_tenant[tenant] = TenantStats(
+                tenant=tenant,
+                queries=group.queries,
+                mean_latency_layers=group.latency.mean,
+                max_latency_layers=group.latency.maximum or 0.0,
+                mean_queue_delay_layers=group.queue_delay.mean,
+                throughput_queries_per_sec=group.queries / seconds,
+                p95_latency_layers=self._tenant_sketches[tenant].value,
+                deadline_misses=deadline_misses,
+                deadline_miss_rate=(
+                    deadline_misses / deadline_demand if deadline_demand else 0.0
+                ),
+                mean_fidelity=(
+                    group.fidelity.mean if group.fidelity.count else None
+                ),
+                min_fidelity=group.fidelity.minimum,
+                fidelity_slo_misses=slo_misses,
+                fidelity_slo_miss_rate=(
+                    slo_misses / slo_demand if slo_demand else 0.0
+                ),
+            )
+
+        per_shard = {}
+        for shard in sorted(self._shards):
+            group = self._shards[shard]
+            if not group.queries:
+                continue
+            per_shard[shard] = ShardStats(
+                shard=shard,
+                queries=group.queries,
+                windows=group.windows,
+                mean_batch_size=group.mean_batch_size,
+                busy_layers=group.busy_layers,
+                utilization=(
+                    min(1.0, group.busy_layers / makespan) if makespan > 0 else 0.0
+                ),
+                max_queue_depth=depths.get(shard, 0),
+                architecture=group.architecture,
+                mean_fidelity=(
+                    group.fidelity.mean if group.fidelity.count else None
+                ),
+                min_fidelity=group.fidelity.minimum,
+                fidelity_slo_misses=group.slo_misses,
+            )
+
+        per_backend = {}
+        for architecture in sorted(self._backends):
+            group = self._backends[architecture]
+            if not group.queries:
+                continue
+            per_backend[architecture] = BackendStats(
+                architecture=architecture,
+                shards=len(group.shard_ids),
+                queries=group.queries,
+                windows=group.windows,
+                mean_batch_size=group.mean_batch_size,
+                mean_latency_layers=group.latency.mean,
+                mean_queue_delay_layers=group.queue_delay.mean,
+                busy_layers=group.busy_layers,
+                throughput_queries_per_sec=group.queries / seconds,
+                mean_fidelity=(
+                    group.fidelity.mean if group.fidelity.count else None
+                ),
+                min_fidelity=group.fidelity.minimum,
+                fidelity_slo_misses=group.slo_misses,
+            )
+
+        total = self._global
+        deadline_demand = total.deadline_demand + self.shed_count
+        deadline_misses = total.deadline_misses + self.shed_count
+        slo_demand = total.slo_demand + self.fidelity_rejected_count
+        slo_misses = total.slo_misses + self.fidelity_rejected_count
+        return ServiceStats(
+            total_queries=self.served_count,
+            makespan_layers=makespan,
+            mean_latency_layers=total.latency.mean,
+            mean_queue_delay_layers=total.queue_delay.mean,
+            bandwidth_queries_per_sec=self.served_count / seconds,
+            per_tenant=per_tenant,
+            per_shard=per_shard,
+            per_backend=per_backend,
+            p50_latency_layers=self._latency_sketch.p50,
+            p95_latency_layers=self._latency_sketch.p95,
+            p99_latency_layers=self._latency_sketch.p99,
+            offered_queries=self.served_count + self.rejected_count,
+            rejected_queries=self.rejected_count - self.shed_count,
+            shed_queries=self.shed_count,
+            fidelity_rejected_queries=self.fidelity_rejected_count,
+            deadline_misses=deadline_misses,
+            deadline_miss_rate=(
+                deadline_misses / deadline_demand if deadline_demand else 0.0
+            ),
+            mean_fidelity=(
+                total.fidelity.mean if total.fidelity.count else None
+            ),
+            min_fidelity=total.fidelity.minimum,
+            fidelity_slo_misses=slo_misses,
+            fidelity_slo_miss_rate=(
+                slo_misses / slo_demand if slo_demand else 0.0
+            ),
+        )

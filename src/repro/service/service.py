@@ -201,11 +201,17 @@ class QRAMService:
         shed_expired: bool = False,
         autoscaler: AutoscalerConfig | None = None,
         max_distillation_copies: int = 1,
+        retention: str = "full",
+        sample_size: int = 1024,
+        sample_seed: int = 0,
+        telemetry_interval: float | None = None,
+        sink=None,
     ) -> ServiceReport:
         """Serve any workload source with the full engine surface.
 
         Args:
-            source: open-loop trace (:class:`repro.engine.TraceSource`) or
+            source: open-loop trace (:class:`repro.engine.TraceSource`,
+                lazily via :class:`repro.engine.StreamingTraceSource`) or
                 closed-loop clients (:class:`repro.engine.ClosedLoopSource`).
             clops: hardware clock used for the queries-per-second numbers.
             max_queue_depth: bounded per-shard queues — arrivals that find
@@ -218,6 +224,19 @@ class QRAMService:
             max_distillation_copies: parallel-copy budget per query for the
                 virtual-distillation fidelity retry (1 disables it); see
                 :class:`repro.engine.ServiceEngine`.
+            retention: per-request record policy — ``"full"`` (keep every
+                record; the historical batch statistics, byte for byte),
+                ``"sampled"`` (a fixed-size reservoir per record stream)
+                or ``"none"`` (records dropped, streaming statistics only:
+                memory independent of request count).
+            sample_size: reservoir capacity under ``retention="sampled"``.
+            sample_seed: RNG seed of the reservoir sampler.
+            telemetry_interval: emit one time-windowed
+                :class:`~repro.metrics.streaming.IntervalStats` every this
+                many raw layers (the report's ``telemetry`` series).
+            sink: optional extra :class:`~repro.metrics.sinks.RecordSink`
+                (e.g. a :class:`~repro.metrics.sinks.JsonlSink`) that
+                receives every record regardless of retention.
         """
         engine = ServiceEngine(
             self,
@@ -225,5 +244,10 @@ class QRAMService:
             shed_expired=shed_expired,
             autoscaler=autoscaler,
             max_distillation_copies=max_distillation_copies,
+            retention=retention,
+            sample_size=sample_size,
+            sample_seed=sample_seed,
+            telemetry_interval=telemetry_interval,
+            sink=sink,
         )
         return engine.run(source, clops=clops)

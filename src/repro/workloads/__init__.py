@@ -11,11 +11,15 @@
 from repro.workloads.arrivals import (
     burst_times,
     exponential_times,
+    iter_burst_times,
+    iter_exponential_times,
     periodic_times,
 )
 from repro.workloads.generators import (
     bursty_trace,
     closed_loop_source,
+    iter_bursty_trace,
+    iter_poisson_trace,
     poisson_trace,
     query_trace,
     random_address_superposition,
@@ -33,9 +37,13 @@ __all__ = [
     "shard_aligned_superposition",
     "query_trace",
     "poisson_trace",
+    "iter_poisson_trace",
     "bursty_trace",
+    "iter_bursty_trace",
     "closed_loop_source",
     "exponential_times",
+    "iter_exponential_times",
     "burst_times",
+    "iter_burst_times",
     "periodic_times",
 ]

@@ -13,7 +13,52 @@ scheduling streams, raw layers for the serving traces).
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 import numpy as np
+
+
+#: Gaps drawn per RNG call by :func:`iter_exponential_times` — large enough
+#: to amortize the call overhead (near-vectorized batch speed), small
+#: enough that laziness still means O(1) memory.
+_DRAW_BLOCK = 4096
+
+
+def iter_exponential_times(
+    num: int, mean_interarrival: float, seed: int = 0
+) -> Iterator[float]:
+    """Lazily yield cumulative arrival times with exponential gaps.
+
+    The streaming core behind :func:`exponential_times`.  Gaps are drawn
+    in fixed-size vectorized blocks (a block of ``n`` draws consumes the
+    Generator's stream exactly like ``n`` scalar draws) and accumulated
+    left to right (the order ``np.cumsum`` sums), so
+    ``list(iter_exponential_times(...)) == exponential_times(...)`` bit
+    for bit (pinned by test) while a million-arrival stream occupies O(1)
+    memory at near-vectorized speed.
+    """
+    if num < 0:
+        raise ValueError("num must be >= 0")
+    if mean_interarrival <= 0:
+        raise ValueError("mean_interarrival must be positive")
+
+    def generate() -> Iterator[float]:
+        rng = np.random.default_rng(seed)
+        total = 0.0
+        remaining = num
+        while remaining > 0:
+            block = rng.exponential(
+                mean_interarrival, size=min(remaining, _DRAW_BLOCK)
+            )
+            remaining -= len(block)
+            for gap in block:
+                total += float(gap)
+                yield total
+
+    # Validate eagerly (above) but stream lazily: a bad argument raises at
+    # the call site, not deep inside the engine when the trace is first
+    # consumed.
+    return generate()
 
 
 def exponential_times(
@@ -23,19 +68,34 @@ def exponential_times(
 
     The memoryless online workload of Sec. 5.2: ``num`` draws from
     ``Exp(mean_interarrival)`` accumulated into absolute times.
+    Materializes :func:`iter_exponential_times` — one RNG stream,
+    whichever surface a caller uses.
 
     Args:
         num: number of arrivals (>= 0).
         mean_interarrival: mean gap between arrivals (> 0).
         seed: RNG seed.
     """
-    if num < 0:
-        raise ValueError("num must be >= 0")
-    if mean_interarrival <= 0:
-        raise ValueError("mean_interarrival must be positive")
-    rng = np.random.default_rng(seed)
-    gaps = rng.exponential(mean_interarrival, size=num)
-    return [float(t) for t in np.cumsum(gaps)]
+    return list(iter_exponential_times(num, mean_interarrival, seed))
+
+
+def iter_burst_times(
+    num_bursts: int, burst_size: int, burst_spacing: float
+) -> Iterator[float]:
+    """Lazily yield the arrival times of :func:`burst_times` (arguments
+    validated eagerly, at the call site)."""
+    if num_bursts < 0 or burst_size < 1:
+        raise ValueError("num_bursts must be >= 0 and burst_size >= 1")
+    if burst_spacing <= 0:
+        raise ValueError("burst_spacing must be positive")
+
+    def generate() -> Iterator[float]:
+        for burst in range(num_bursts):
+            time = float(burst * burst_spacing)
+            for _ in range(burst_size):
+                yield time
+
+    return generate()
 
 
 def burst_times(
@@ -49,15 +109,7 @@ def burst_times(
         burst_size: simultaneous requests per burst (>= 1).
         burst_spacing: layers between bursts (> 0).
     """
-    if num_bursts < 0 or burst_size < 1:
-        raise ValueError("num_bursts must be >= 0 and burst_size >= 1")
-    if burst_spacing <= 0:
-        raise ValueError("burst_spacing must be positive")
-    return [
-        float(burst * burst_spacing)
-        for burst in range(num_bursts)
-        for _ in range(burst_size)
-    ]
+    return list(iter_burst_times(num_bursts, burst_size, burst_spacing))
 
 
 def periodic_times(

@@ -4,13 +4,14 @@ query traces."""
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
 from repro.bucket_brigade.tree import validate_capacity
 from repro.core.query import QueryRequest
 from repro.engine.workload import ClosedLoopClient, ClosedLoopSource
-from repro.workloads.arrivals import burst_times, exponential_times
+from repro.workloads.arrivals import iter_burst_times, iter_exponential_times
 
 
 def random_data(capacity: int, seed: int = 0, density: float = 0.5) -> list[int]:
@@ -102,35 +103,65 @@ def shard_aligned_superposition(
     return {a * num_shards + shard: amp for a, amp in local.items()}
 
 
-def _arrival_trace(
+def _iter_arrival_trace(
     capacity: int,
-    times: list[float],
+    times: Iterable[float],
     addresses_per_query: int,
     num_tenants: int,
     num_shards: int,
     seed: int,
     deadline_layers: float | None = None,
     min_fidelity: float | None = None,
-) -> list[QueryRequest]:
-    """Requests at the given arrival times, round-robin over tenants and
-    random (shard-aligned) address superpositions."""
+) -> Iterator[QueryRequest]:
+    """Lazily yield requests at the given arrival times, round-robin over
+    tenants and random (shard-aligned) address superpositions.
+
+    One request is materialized at a time: driven by a lazy ``times``
+    stream and a :class:`~repro.engine.workload.StreamingTraceSource`,
+    a trace of any length occupies O(1) memory.
+    """
     rng = np.random.default_rng(seed)
-    requests = []
     for i, t in enumerate(times):
         shard = int(rng.integers(num_shards))
-        requests.append(
-            QueryRequest(
-                query_id=i,
-                address_amplitudes=shard_aligned_superposition(
-                    capacity, num_shards, shard, addresses_per_query, seed=seed + i
-                ),
-                request_time=float(t),
-                qpu=i % num_tenants,
-                deadline=None if deadline_layers is None else float(t) + deadline_layers,
-                min_fidelity=min_fidelity,
-            )
+        yield QueryRequest(
+            query_id=i,
+            address_amplitudes=shard_aligned_superposition(
+                capacity, num_shards, shard, addresses_per_query, seed=seed + i
+            ),
+            request_time=float(t),
+            qpu=i % num_tenants,
+            deadline=None if deadline_layers is None else float(t) + deadline_layers,
+            min_fidelity=min_fidelity,
         )
-    return requests
+
+
+def iter_poisson_trace(
+    capacity: int,
+    num_queries: int,
+    mean_interarrival: float,
+    addresses_per_query: int = 2,
+    num_tenants: int = 1,
+    num_shards: int = 1,
+    seed: int = 0,
+    deadline_layers: float | None = None,
+    min_fidelity: float | None = None,
+) -> Iterator[QueryRequest]:
+    """Lazily yield the open-loop Poisson trace of :func:`poisson_trace`.
+
+    The same RNG streams request for request
+    (``list(iter_poisson_trace(...)) == poisson_trace(...)``, pinned by
+    test), but nothing is materialized: feed it to a
+    :class:`~repro.engine.workload.StreamingTraceSource` and a
+    million-query trace is generated, served and discarded one request at
+    a time.
+    """
+    if num_queries < 1:
+        raise ValueError("num_queries must be >= 1")
+    times = iter_exponential_times(num_queries, mean_interarrival, seed)
+    return _iter_arrival_trace(
+        capacity, times, addresses_per_query, num_tenants, num_shards, seed,
+        deadline_layers, min_fidelity,
+    )
 
 
 def poisson_trace(
@@ -154,11 +185,32 @@ def poisson_trace(
     carries the deadline ``arrival + deadline_layers`` for SLO-aware
     serving (EDF admission, shed accounting); with ``min_fidelity`` every
     query carries that fidelity SLO for fidelity-aware serving.
+    Materializes :func:`iter_poisson_trace`.
     """
-    if num_queries < 1:
-        raise ValueError("num_queries must be >= 1")
-    times = exponential_times(num_queries, mean_interarrival, seed)
-    return _arrival_trace(
+    return list(iter_poisson_trace(
+        capacity, num_queries, mean_interarrival, addresses_per_query,
+        num_tenants, num_shards, seed, deadline_layers, min_fidelity,
+    ))
+
+
+def iter_bursty_trace(
+    capacity: int,
+    num_bursts: int,
+    burst_size: int,
+    burst_spacing: float,
+    addresses_per_query: int = 2,
+    num_tenants: int = 1,
+    num_shards: int = 1,
+    seed: int = 0,
+    deadline_layers: float | None = None,
+    min_fidelity: float | None = None,
+) -> Iterator[QueryRequest]:
+    """Lazily yield the bursty trace of :func:`bursty_trace` (same RNG
+    streams, O(1) memory)."""
+    if num_bursts < 1 or burst_size < 1:
+        raise ValueError("num_bursts and burst_size must be >= 1")
+    times = iter_burst_times(num_bursts, burst_size, burst_spacing)
+    return _iter_arrival_trace(
         capacity, times, addresses_per_query, num_tenants, num_shards, seed,
         deadline_layers, min_fidelity,
     )
@@ -177,14 +229,12 @@ def bursty_trace(
     min_fidelity: float | None = None,
 ) -> list[QueryRequest]:
     """Bursty traffic: ``burst_size`` simultaneous requests every
-    ``burst_spacing`` raw layers (the stress pattern for window batching)."""
-    if num_bursts < 1 or burst_size < 1:
-        raise ValueError("num_bursts and burst_size must be >= 1")
-    times = burst_times(num_bursts, burst_size, burst_spacing)
-    return _arrival_trace(
-        capacity, times, addresses_per_query, num_tenants, num_shards, seed,
-        deadline_layers, min_fidelity,
-    )
+    ``burst_spacing`` raw layers (the stress pattern for window batching).
+    Materializes :func:`iter_bursty_trace`."""
+    return list(iter_bursty_trace(
+        capacity, num_bursts, burst_size, burst_spacing, addresses_per_query,
+        num_tenants, num_shards, seed, deadline_layers, min_fidelity,
+    ))
 
 
 def closed_loop_source(

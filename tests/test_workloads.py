@@ -6,7 +6,11 @@ from repro import build_backend
 from repro.baselines.registry import backend_names
 from repro.service.sharding import InterleavedShardMap
 from repro.workloads import (
+    burst_times,
     bursty_trace,
+    exponential_times,
+    iter_burst_times,
+    iter_exponential_times,
     poisson_trace,
     random_data,
     shard_aligned_superposition,
@@ -177,3 +181,36 @@ def test_trace_generators_carry_min_fidelity():
     assert all(r.min_fidelity == 0.9 for r in trace)
     trace = bursty_trace(8, 2, 2, 50.0, seed=1)
     assert all(r.min_fidelity is None for r in trace)
+
+
+def test_lazy_arrival_cores_match_batch():
+    """The iterator cores yield the batch lists element for element — one
+    RNG stream and one accumulation order, whichever surface is used.
+
+    ``exponential_times`` materializes the iterator, so the reference here
+    is computed independently the way the pre-streaming implementation
+    did — one vectorized draw plus ``np.cumsum`` — and the pinned length
+    crosses the iterator's draw-block boundary (4096), the one seam where
+    the chunked stream could diverge from a single vectorized draw."""
+    import numpy as np
+
+    reference = [
+        float(t)
+        for t in np.cumsum(np.random.default_rng(13).exponential(7.5, size=5000))
+    ]
+    assert list(iter_exponential_times(5000, 7.5, seed=13)) == reference
+    assert exponential_times(5000, 7.5, seed=13) == reference
+    assert list(iter_burst_times(5, 4, 25.0)) == burst_times(5, 4, 25.0)
+    assert list(iter_exponential_times(0, 1.0)) == []
+
+
+def test_lazy_arrival_cores_validate_eagerly():
+    """Bad arguments raise at the call site, not on first consumption."""
+    with pytest.raises(ValueError):
+        iter_exponential_times(-1, 1.0)
+    with pytest.raises(ValueError):
+        iter_exponential_times(3, 0.0)
+    with pytest.raises(ValueError):
+        iter_burst_times(2, 0, 10.0)
+    with pytest.raises(ValueError):
+        iter_burst_times(2, 2, 0.0)
