@@ -15,7 +15,7 @@ from repro.workloads import structured_data
 def test_fig6_pipeline_schedule(benchmark):
     data = benchmark(generate_fig6_pipeline, 8, 3)
     print_rows("Fig. 6 — capacity-8 Fat-Tree, 3 pipelined queries", data)
-    assert data["per_query_raw_latency"] == 29
+    assert data["per_query_raw_layers"] == 29
     assert data["finish_layers"] == [29, 39, 49]
     assert data["bb_single_query_layers"] == 25
 
@@ -35,10 +35,10 @@ def test_fig6_gate_level_functional_check(benchmark):
         "Fig. 6 — gate-level execution",
         {
             "interval_raw_layers": summary.interval,
-            "per_query_raw_latency": summary.per_query_raw_latency,
+            "per_query_raw_layers": summary.per_query_raw_layers,
             "max_concurrent_queries": summary.max_concurrent,
             "query_fidelities": [round(f, 6) for f in fidelities],
         },
     )
     assert all(abs(f - 1.0) < 1e-9 for f in fidelities)
-    assert summary.per_query_raw_latency == 29
+    assert summary.per_query_raw_layers == 29

@@ -36,7 +36,7 @@ def gate_level_pipelining() -> None:
     summary, outputs = executor.run_pipelined_queries(requests, interval=22)
     print("Gate-level pipelined execution (capacity 8, 3 queries):")
     print(f"  admission interval : {summary.interval} raw layers")
-    print(f"  per-query latency  : {summary.per_query_raw_latency} raw layers "
+    print(f"  per-query latency  : {summary.per_query_raw_layers} raw layers "
           "(10 log N - 1 = 29)")
     print(f"  concurrent queries : {summary.max_concurrent}")
     for request in requests:

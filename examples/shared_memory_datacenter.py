@@ -31,18 +31,18 @@ def run(architecture: str) -> None:
         AlgorithmWorkload(
             qpu,
             rounds=ROUNDS,
-            processing_layers=PROCESSING_RATIO * model.query_latency,
+            processing_layers=PROCESSING_RATIO * model.weighted_query_latency,
         )
         for qpu in range(NUM_QPUS)
     ]
     report = SharedQRAMSimulation(model).run(workloads)
     print(f"\n{architecture} QRAM (N = {CAPACITY}, {NUM_QPUS} QPUs, "
           f"{ROUNDS} query/process rounds each)")
-    print(f"  query latency          : {model.query_latency:.3f} layers")
+    print(f"  query latency          : {model.weighted_query_latency:.3f} layers")
     print(f"  admission interval     : {model.admission_interval:.3f} layers")
     print(f"  query parallelism      : {model.parallelism}")
     print(f"  overall algorithm depth: {report.overall_depth:.1f} layers")
-    print(f"  total queueing delay   : {report.total_queue_delay:.1f} layers")
+    print(f"  total queueing delay   : {report.total_queue_delay_layers:.1f} layers")
     print(f"  average utilization    : {report.average_utilization:.2f}")
     print(f"  queries served         : {report.total_queries}")
 

@@ -43,9 +43,11 @@ from repro.service import (
     ServiceReport,
 )
 from repro.engine import (
+    SANITIZE_ENV,
     AutoscalerConfig,
     ClosedLoopClient,
     ClosedLoopSource,
+    SanitizerViolation,
     ServiceEngine,
     StreamingTraceSource,
     TraceSource,
@@ -65,6 +67,8 @@ __all__ = [
     "QRAMService",
     "ServiceReport",
     "ServiceEngine",
+    "SanitizerViolation",
+    "SANITIZE_ENV",
     "AutoscalerConfig",
     "TraceSource",
     "StreamingTraceSource",

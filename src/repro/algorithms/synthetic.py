@@ -31,9 +31,9 @@ class SyntheticAlgorithm:
     rounds: int = 10
     processing_ratio: float = 0.5
 
-    def workloads(self, count: int, query_latency: float) -> list[AlgorithmWorkload]:
+    def workloads(self, count: int, weighted_query_latency: float) -> list[AlgorithmWorkload]:
         """Materialise ``count`` concurrent copies of this algorithm."""
-        d = self.processing_ratio * query_latency
+        d = self.processing_ratio * weighted_query_latency
         return [
             AlgorithmWorkload(i, rounds=self.rounds, processing_layers=d)
             for i in range(count)
@@ -73,7 +73,7 @@ def synthetic_sweep(
             if count < 1:
                 continue
             workloads = SyntheticAlgorithm(rounds, ratio).workloads(
-                count, model.query_latency
+                count, model.weighted_query_latency
             )
             report = simulator.run(workloads)
             points.append(

@@ -28,7 +28,7 @@ def generate_fig6_pipeline(capacity: int = 8, num_queries: int = 3) -> dict[str,
     pipeline = FatTreePipeline(capacity, num_queries=num_queries)
     pipeline.verify_no_conflicts()
     return {
-        "per_query_raw_latency": pipeline.query_raw_latency,
+        "per_query_raw_layers": pipeline.query_raw_latency,
         "finish_layers": [t.finish_layer for t in pipeline.timelines()],
         "data_retrieval_layers": [
             t.data_retrieval_layer for t in pipeline.timelines()

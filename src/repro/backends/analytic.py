@@ -25,7 +25,8 @@ Timing models (per window of ``k`` queries, all in raw layers):
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.backends.noise import (
     PredictedFidelityMixin,
@@ -45,8 +46,10 @@ class _ModelBackend(PredictedFidelityMixin):
     """Shared delegation for backends that wrap one architecture model."""
 
     def __init__(
-        self, model, parameters: HardwareParameters = DEFAULT_PARAMETERS
+        self, model: Any, parameters: HardwareParameters = DEFAULT_PARAMETERS
     ) -> None:
+        # The model is duck-typed: Virtual and distributed QRAMs share the
+        # capacity/address_width/latency surface but no common base class.
         self.model = model
         self.parameters = parameters
 
@@ -72,6 +75,7 @@ class _ModelBackend(PredictedFidelityMixin):
 
     def write_memory(self, address: int, value: int) -> None:
         self.model.write_memory(address, value)
+        self.invalidate_predictions()
 
     def single_query_latency(self) -> float:
         return self.model.single_query_latency()
@@ -80,7 +84,11 @@ class _ModelBackend(PredictedFidelityMixin):
         return self.model.amortized_query_latency(num_queries)
 
     @staticmethod
-    def _functional_slot(model_query, request: QueryRequest, data: Sequence[int]):
+    def _functional_slot(
+        model_query: Callable[..., Any],
+        request: QueryRequest,
+        data: Sequence[int],
+    ) -> tuple[Any, float]:
         """Run one request through a model's ``query`` and score its fidelity."""
         if request.address_amplitudes is None:
             raise ValueError("functional execution requires address amplitudes")
@@ -222,7 +230,7 @@ class _DistributedBackend(_ModelBackend):
                 len(range(copy, batch_size, copies)) for copy in range(copies)
             ]
             sub_batches: dict[int, tuple[float, ...]] = {}
-            for size in set(per_copy):
+            for size in sorted(set(per_copy)):
                 if size == 0:
                     continue
                 starts = tuple(float(local * interval + 1) for local in range(size))

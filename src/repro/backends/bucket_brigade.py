@@ -17,6 +17,7 @@ from collections.abc import Sequence
 
 from repro.backends.noise import PredictedFidelityMixin, bb_bounds
 from repro.backends.protocol import WindowResult, ideal_output, output_fidelity
+from repro.bucket_brigade.executor import BBExecutor
 from repro.bucket_brigade.qram import BucketBrigadeQRAM
 from repro.core.query import QueryRequest
 from repro.hardware.parameters import DEFAULT_PARAMETERS, HardwareParameters
@@ -67,8 +68,9 @@ class BBBackend(PredictedFidelityMixin):
 
     def write_memory(self, address: int, value: int) -> None:
         self.qram.write_memory(address, value)
+        self.invalidate_predictions()
 
-    def cached_executor(self):
+    def cached_executor(self) -> BBExecutor:
         """The underlying memoized gate-level executor."""
         return self.qram.cached_executor()
 

@@ -27,11 +27,13 @@ through so functional serving keeps returning amplitudes.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import Any
 
 from repro.backends.noise import PredictedFidelityMixin
 from repro.backends.protocol import WindowResult
 from repro.core.query import QueryRequest
 from repro.fidelity.qec import DEFAULT_THRESHOLD, QECCode, encoded_parameters
+from repro.hardware.parameters import HardwareParameters
 
 __all__ = ["EncodedBackend", "encoded_backend_name", "parse_encoded_name"]
 
@@ -83,7 +85,7 @@ class EncodedBackend(PredictedFidelityMixin):
 
     def __init__(
         self,
-        backend,
+        backend: Any,
         distance: int,
         code: QECCode | None = None,
         threshold: float = DEFAULT_THRESHOLD,
@@ -132,6 +134,7 @@ class EncodedBackend(PredictedFidelityMixin):
 
     def write_memory(self, address: int, value: int) -> None:
         self.backend.write_memory(address, value)
+        self.invalidate_predictions()
 
     # ----------------------------------------------------------------- timing
     def minimum_feasible_interval(self, num_queries: int = 2) -> int:
@@ -166,7 +169,7 @@ class EncodedBackend(PredictedFidelityMixin):
 
     # --------------------------------------------------------------- fidelity
     def _infidelity_bounds(
-        self, parameters
+        self, parameters: HardwareParameters
     ) -> tuple[float, float]:
         """The bare architecture's bounds, evaluated at the logical error
         rates this wrapper derived at construction."""

@@ -16,6 +16,7 @@ from collections.abc import Sequence
 
 from repro.backends.noise import PredictedFidelityMixin, fat_tree_bounds
 from repro.backends.protocol import WindowResult
+from repro.core.executor import FatTreeExecutor
 from repro.core.qram import FatTreeQRAM
 from repro.core.query import QueryRequest
 from repro.hardware.parameters import DEFAULT_PARAMETERS, HardwareParameters
@@ -66,8 +67,9 @@ class FatTreeBackend(PredictedFidelityMixin):
 
     def write_memory(self, address: int, value: int) -> None:
         self.qram.write_memory(address, value)
+        self.invalidate_predictions()
 
-    def cached_executor(self):
+    def cached_executor(self) -> FatTreeExecutor:
         """The underlying memoized gate-level executor."""
         return self.qram.cached_executor()
 

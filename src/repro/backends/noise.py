@@ -161,3 +161,13 @@ class PredictedFidelityMixin:
     def predicted_query_fidelity(self) -> float:
         """Analytic fidelity of a lone query (the Sec. 8.1 / Table 3 bound)."""
         return self.predicted_window_fidelities(1)[0]
+
+    def invalidate_predictions(self) -> None:
+        """Drop memoized fidelity predictions.
+
+        Must be called by any mutation of the state predictions are
+        computed from (the underlying memory image / timing model), so a
+        stale window shape is never served — the pairing simlint's SIM003
+        enforces.
+        """
+        self.__dict__.pop("_predicted_fidelity_cache", None)

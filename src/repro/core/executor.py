@@ -51,7 +51,7 @@ class PipelinedExecutionResult:
     Attributes:
         interval: admission interval (raw layers) actually used.
         total_layers: raw layers until the last query finished.
-        per_query_raw_latency: raw layers each individual query took.
+        per_query_raw_layers: raw layers each individual query took.
         results: per-query functional results (amplitudes and fidelity
             bookkeeping handled by the caller).
         max_concurrent: maximum number of queries simultaneously in flight.
@@ -59,7 +59,7 @@ class PipelinedExecutionResult:
 
     interval: int
     total_layers: int
-    per_query_raw_latency: int
+    per_query_raw_layers: int
     results: list[QueryResult] = field(default_factory=list)
     max_concurrent: int = 0
 
@@ -488,7 +488,7 @@ class FatTreeExecutor:
         summary = PipelinedExecutionResult(
             interval=interval,
             total_layers=total_layers,
-            per_query_raw_latency=lifetime,
+            per_query_raw_layers=lifetime,
             results=results,
             max_concurrent=self._max_concurrent(len(requests), interval, lifetime),
         )

@@ -17,6 +17,7 @@ richer scenarios go through :meth:`~repro.service.QRAMService.serve_workload`.
 
 from repro.engine.core import (
     RETENTIONS,
+    SANITIZE_ENV,
     AutoscalerConfig,
     ServiceEngine,
     ServiceReport,
@@ -26,6 +27,7 @@ from repro.engine.events import (
     ClientThink,
     Event,
     EventHeap,
+    SanitizerViolation,
     ScaleCheck,
     TelemetryTick,
     WindowDrain,
@@ -57,4 +59,6 @@ __all__ = [
     "WindowDrain",
     "ScaleCheck",
     "TelemetryTick",
+    "SanitizerViolation",
+    "SANITIZE_ENV",
 ]

@@ -54,7 +54,9 @@ shared memory under live contention needs:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.baselines.registry import build_backend
 from repro.core.query import ANY_SHARD, QueryRequest
@@ -62,6 +64,7 @@ from repro.engine.events import (
     Arrival,
     ClientThink,
     EventHeap,
+    SanitizerViolation,
     ScaleCheck,
     TelemetryTick,
     WindowDrain,
@@ -85,6 +88,19 @@ from repro.metrics.streaming import IntervalStats, StreamingServiceAggregator
 
 #: Retention modes for the engine's per-request records.
 RETENTIONS = ("full", "sampled", "none")
+
+#: Environment switch for sanitizer mode (CI runs the whole suite with it).
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+
+def _env_sanitize() -> bool:
+    """Default sanitizer setting from the ``REPRO_SANITIZE`` variable."""
+    return os.environ.get(SANITIZE_ENV, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 
 def _distilled(fidelity: float, copies: int) -> float:
@@ -259,6 +275,15 @@ class ServiceEngine:
             regardless of retention — e.g. a
             :class:`~repro.metrics.sinks.JsonlSink` for durable full
             telemetry next to a bounded-memory run.
+        sanitize: runtime invariant checking.  When True every run asserts
+            clock monotonicity, nondecreasing heap-key order, that windows
+            only start on idle shards, and the conservation invariant
+            ``offered == served + rejected + queued`` at every window
+            drain (queues empty at end of run); violations raise
+            :class:`~repro.engine.events.SanitizerViolation`.  ``None``
+            (the default) reads the ``REPRO_SANITIZE`` environment
+            variable, which is how CI runs the whole test suite
+            sanitized.
 
     Engines are reusable: ``run`` resets all per-run state (queues, seen
     ids, busy times, telemetry, caches) on entry, so consecutive runs of
@@ -268,7 +293,9 @@ class ServiceEngine:
 
     def __init__(
         self,
-        fleet,
+        # Duck-typed on purpose (see the docstring): a QRAMService or any
+        # object with the same shards/shard_map/policy/placement surface.
+        fleet: Any,
         *,
         max_queue_depth: int | None = None,
         shed_expired: bool = False,
@@ -279,6 +306,7 @@ class ServiceEngine:
         sample_seed: int = 0,
         telemetry_interval: float | None = None,
         sink: RecordSink | None = None,
+        sanitize: bool | None = None,
     ) -> None:
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
@@ -315,6 +343,7 @@ class ServiceEngine:
         self.sample_seed = sample_seed
         self.telemetry_interval = telemetry_interval
         self.sink = sink
+        self.sanitize = _env_sanitize() if sanitize is None else bool(sanitize)
 
     # ------------------------------------------------------------------ run
     def _make_sink(self, stream: int) -> RecordSink:
@@ -336,7 +365,8 @@ class ServiceEngine:
         """
         fleet = self.fleet
         self._source = source
-        self._heap = EventHeap()
+        self._heap = EventHeap(sanitize=self.sanitize)
+        self._offered = 0
         self._backends = list(fleet.shards)
         self._window_sizes = list(fleet.window_sizes)
         num_shards = len(self._backends)
@@ -393,6 +423,14 @@ class ServiceEngine:
 
         while self._heap:
             now, event = self._heap.pop()
+            if self.sanitize:
+                if now < self._now:
+                    raise SanitizerViolation(
+                        f"virtual clock moved backwards: popped "
+                        f"{type(event).__name__} at {now} after {self._now}"
+                    )
+                if isinstance(event, WindowDrain):
+                    self._check_conservation(now)
             self._now = now
             if isinstance(event, Arrival):
                 self._traffic_events -= 1
@@ -426,6 +464,13 @@ class ServiceEngine:
             # popping after the last tick) does not warrant an extra
             # all-zero interval off the tick grid.
             self._flush_interval(max(self._now, self._tick_start))
+        if self.sanitize:
+            queued = sum(len(queue) for queue in self._queues)
+            if queued:
+                raise SanitizerViolation(
+                    f"run ended with {queued} request(s) still queued"
+                )
+            self._check_conservation(self._now)
         served_count = self._aggregator.served_count
         if not served_count:
             offered = self._aggregator.rejected_count
@@ -538,6 +583,10 @@ class ServiceEngine:
             raise ValueError("service requests require address amplitudes")
         if request.min_fidelity is not None and not 0.0 < request.min_fidelity <= 1.0:
             raise ValueError("min_fidelity must be in (0, 1]")
+        # Every validated arrival is "offered" — it must end up served,
+        # rejected, or still queued (the conservation invariant the
+        # sanitizer checks at every drain).
+        self._offered += 1
         shard, local = self.fleet.shard_map.route(request.address_amplitudes)
         if shard == ANY_SHARD:
             # Fidelity-aware placement: replicated shards all hold the full
@@ -733,6 +782,11 @@ class ServiceEngine:
         its schedule and lowering caches are shared across every window of
         the run.
         """
+        if self.sanitize and self._busy_until[shard] > admit:
+            raise SanitizerViolation(
+                f"window admitted on busy shard {shard}: busy until "
+                f"{self._busy_until[shard]}, admitted at {admit}"
+            )
         backend = self._backends[shard]
         local_requests = [
             QueryRequest(
@@ -804,6 +858,30 @@ class ServiceEngine:
         self._busy_until[shard] = admit + total_layers
         self._traffic_events += 1
         self._heap.push(self._busy_until[shard], WindowDrain(shard))
+
+    # -------------------------------------------------------------- sanitizer
+    def _check_conservation(self, now: float) -> None:
+        """Assert ``offered == served + rejected + queued`` right now.
+
+        Served records are written at window-admit time, so between events
+        there is no in-flight term: every offered request is either in a
+        queue or already accounted as served / rejected (shed requests are
+        a flavor of rejection).  Checked on every :class:`WindowDrain` and
+        at end of run.
+        """
+        served = self._aggregator.served_count
+        rejected = self._aggregator.rejected_count
+        queued = sum(len(queue) for queue in self._queues)
+        if self._offered != served + rejected + queued:
+            raise SanitizerViolation(
+                f"conservation broken at t={now}: offered={self._offered} "
+                f"!= served={served} + rejected={rejected} + queued={queued}"
+            )
+        if self._aggregator.shed_count > rejected:
+            raise SanitizerViolation(
+                f"shed count {self._aggregator.shed_count} exceeds rejected "
+                f"count {rejected} at t={now}"
+            )
 
     # ------------------------------------------------------------- placement
     def _active_shards(self) -> list[int]:

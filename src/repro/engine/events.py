@@ -5,10 +5,13 @@ typed events.  Events at the same timestamp are ordered by a per-type
 priority so that one instant unfolds deterministically and exactly like the
 legacy batch-window loop did:
 
-1. :class:`Arrival` / :class:`ClientThink` — every request that arrives at
-   time ``t`` is enqueued before any window admits at ``t`` (a think event
-   *is* an arrival: the client issues its next request the moment its think
-   time elapses);
+1. :class:`Arrival` then :class:`ClientThink` — every request that arrives
+   at time ``t`` is enqueued before any window admits at ``t`` (a think
+   event *is* an arrival: the client issues its next request the moment its
+   think time elapses; a run uses one or the other, never both, so the
+   relative order between them is moot — but each event type still holds a
+   *unique* priority so the registry stays totally ordered, as simlint's
+   SIM004 enforces);
 2. :class:`WindowDrain` — shards that finish at ``t`` free up before new
    windows are considered;
 3. :class:`ScaleCheck` — the autoscaler observes the post-drain queue
@@ -46,7 +49,7 @@ class ClientThink:
     """A closed-loop client finishes thinking and issues its next request."""
 
     client_id: int
-    PRIORITY: ClassVar[int] = 0
+    PRIORITY: ClassVar[int] = 1
 
 
 @dataclass(frozen=True)
@@ -54,14 +57,14 @@ class WindowDrain:
     """A shard's in-flight pipeline window fully drains; the shard is free."""
 
     shard: int
-    PRIORITY: ClassVar[int] = 1
+    PRIORITY: ClassVar[int] = 2
 
 
 @dataclass(frozen=True)
 class ScaleCheck:
     """Periodic autoscaler tick: compare queue depths against watermarks."""
 
-    PRIORITY: ClassVar[int] = 2
+    PRIORITY: ClassVar[int] = 3
 
 
 @dataclass(frozen=True)
@@ -69,14 +72,14 @@ class WindowStart:
     """An idle shard with queued work admits one pipeline window."""
 
     shard: int
-    PRIORITY: ClassVar[int] = 3
+    PRIORITY: ClassVar[int] = 4
 
 
 @dataclass(frozen=True)
 class TelemetryTick:
     """Periodic telemetry flush: emit one time-windowed interval sample."""
 
-    PRIORITY: ClassVar[int] = 4
+    PRIORITY: ClassVar[int] = 5
 
 
 Event = Union[
@@ -84,25 +87,54 @@ Event = Union[
 ]
 
 
+class SanitizerViolation(AssertionError):
+    """A runtime simulation invariant was broken.
+
+    Raised only in sanitizer mode (``ServiceEngine(sanitize=True)`` /
+    ``REPRO_SANITIZE=1``): clock monotonicity, heap-key ordering, window
+    admission on a busy shard, or the request-conservation invariant.
+    """
+
+
 class EventHeap:
     """A min-heap of events keyed on ``(time, type priority, sequence)``.
 
     The sequence number both breaks ties deterministically and keeps the
     heap from ever comparing event payloads.
+
+    Args:
+        sanitize: verify on every operation that timestamps are finite
+            numbers and that popped keys come out in nondecreasing
+            ``(time, priority, sequence)`` order — the oracle ordering the
+            planned parallel event-merge must reproduce.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: bool = False) -> None:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
+        self._sanitize = sanitize
+        self._last_key: tuple[float, int, int] | None = None
 
     def push(self, time: float, event: Event) -> None:
         """Schedule an event at an absolute virtual time (raw layers)."""
+        if self._sanitize and not time == time:  # NaN defeats heap ordering
+            raise SanitizerViolation(
+                f"event {type(event).__name__} scheduled at NaN"
+            )
         heapq.heappush(self._heap, (time, event.PRIORITY, self._sequence, event))
         self._sequence += 1
 
     def pop(self) -> tuple[float, Event]:
         """Remove and return the next ``(time, event)`` pair."""
-        time, _, _, event = heapq.heappop(self._heap)
+        time, priority, sequence, event = heapq.heappop(self._heap)
+        if self._sanitize:
+            key = (time, priority, sequence)
+            if self._last_key is not None and key < self._last_key:
+                raise SanitizerViolation(
+                    f"heap popped key {key} after {self._last_key}: "
+                    "event order is not nondecreasing"
+                )
+            self._last_key = key
         return time, event
 
     def __len__(self) -> int:

@@ -29,8 +29,13 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.query import QueryRequest
+
+if TYPE_CHECKING:
+    from repro.engine.core import ServiceEngine
+    from repro.metrics.service_stats import RejectedQuery, ServedQuery
 
 #: Builds the address superposition of one closed-loop request:
 #: ``(client, per-client query index) -> {address: amplitude}``.
@@ -40,14 +45,14 @@ AddressFactory = Callable[["ClosedLoopClient", int], Mapping[int, complex]]
 class WorkloadSource:
     """What the serving engine requires of a traffic source."""
 
-    def start(self, engine) -> None:
+    def start(self, engine: ServiceEngine) -> None:
         """Schedule the source's initial events (arrivals or think ticks)."""
         raise NotImplementedError
 
-    def on_completion(self, engine, record) -> None:
+    def on_completion(self, engine: ServiceEngine, record: ServedQuery) -> None:
         """Observe one served query (closed-loop sources react here)."""
 
-    def on_rejection(self, engine, record) -> None:
+    def on_rejection(self, engine: ServiceEngine, record: RejectedQuery) -> None:
         """Observe one rejected/shed request (closed-loop sources react here).
 
         Without this hook a closed-loop client whose request was refused
@@ -78,7 +83,7 @@ class TraceSource(WorkloadSource):
             requests, key=lambda r: (r.request_time, r.query_id)
         )
 
-    def start(self, engine) -> None:
+    def start(self, engine: ServiceEngine) -> None:
         for request in self.requests:
             engine.submit(request)
 
@@ -109,7 +114,7 @@ class StreamingTraceSource(WorkloadSource):
         self._pending: QueryRequest | None = None
         self._last_time = 0.0
 
-    def start(self, engine) -> None:
+    def start(self, engine: ServiceEngine) -> None:
         self._engine = engine
         self._iterator = iter(self._requests)
         self._pending = next(self._iterator, None)
@@ -118,7 +123,7 @@ class StreamingTraceSource(WorkloadSource):
             raise ValueError("at least one request is required")
         self._schedule_pending(engine)
 
-    def _schedule_pending(self, engine) -> None:
+    def _schedule_pending(self, engine: ServiceEngine) -> None:
         request = self._pending
         if request.request_time < self._last_time:
             raise ValueError(
@@ -203,7 +208,7 @@ class ClosedLoopSource(WorkloadSource):
         """Queries the fleet issues over a full run."""
         return sum(client.queries for client in self.clients.values())
 
-    def start(self, engine) -> None:
+    def start(self, engine: ServiceEngine) -> None:
         self._issued = {client_id: 0 for client_id in self.clients}
         self._next_query_id = 0
         for client_id in sorted(self.clients):
@@ -233,17 +238,17 @@ class ClosedLoopSource(WorkloadSource):
             min_fidelity=client.min_fidelity,
         )
 
-    def on_completion(self, engine, record) -> None:
+    def on_completion(self, engine: ServiceEngine, record: ServedQuery) -> None:
         self._think_after(engine, record.tenant, record.finish_layer)
 
-    def on_rejection(self, engine, record) -> None:
+    def on_rejection(self, engine: ServiceEngine, record: RejectedQuery) -> None:
         # A rejected or shed request still consumed one of the client's
         # queries (it is accounted in the report's rejected records); the
         # client learns of the failure at rejection time and moves on to
         # its next query after thinking.
         self._think_after(engine, record.tenant, record.time)
 
-    def _think_after(self, engine, client_id: int, finished_at: float) -> None:
+    def _think_after(self, engine: ServiceEngine, client_id: int, finished_at: float) -> None:
         client = self.clients.get(client_id)
         if client is None:
             return

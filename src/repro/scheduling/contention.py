@@ -23,20 +23,20 @@ class QRAMServiceModel:
 
     Attributes:
         name: architecture name (for reports).
-        query_latency: weighted layers from admission to completion of one
+        weighted_query_latency: weighted layers from admission to completion of one
             query.
         admission_interval: minimum weighted layers between admissions
-            (equals ``query_latency`` for non-pipelined architectures).
+            (equals ``weighted_query_latency`` for non-pipelined architectures).
         parallelism: maximum queries in flight.
     """
 
     name: str
-    query_latency: float
+    weighted_query_latency: float
     admission_interval: float
     parallelism: int
 
     def __post_init__(self) -> None:
-        if self.query_latency <= 0 or self.admission_interval <= 0:
+        if self.weighted_query_latency <= 0 or self.admission_interval <= 0:
             raise ValueError("latencies must be positive")
         if self.parallelism < 1:
             raise ValueError("parallelism must be >= 1")
@@ -52,7 +52,7 @@ class QRAMServiceModel:
             interval = latency
         return cls(
             name=getattr(qram, "name", type(qram).__name__),
-            query_latency=latency,
+            weighted_query_latency=latency,
             admission_interval=interval,
             parallelism=parallelism,
         )
@@ -91,7 +91,7 @@ class SimulationReport:
         average_utilization: mean in-flight queries / parallelism over the
             busy-or-waiting makespan (Fig. 10 b1/b2).
         total_queries: number of queries served.
-        total_queue_delay: total layers queries spent waiting for admission.
+        total_queue_delay_layers: total layers queries spent waiting for admission.
     """
 
     model: QRAMServiceModel
@@ -101,7 +101,7 @@ class SimulationReport:
     qram_query_layers: float
     average_utilization: float
     total_queries: int
-    total_queue_delay: float
+    total_queue_delay_layers: float
 
 
 class SharedQRAMSimulation:
@@ -134,23 +134,23 @@ class SharedQRAMSimulation:
         next_admission = 0.0
         busy_intervals: list[tuple[float, float]] = []
         query_intervals: list[tuple[float, float]] = []
-        total_queue_delay = 0.0
+        total_queue_delay_layers = 0.0
         total_queries = 0
 
         def try_admit(now: float) -> None:
-            nonlocal next_admission, sequence, total_queue_delay, total_queries
+            nonlocal next_admission, sequence, total_queue_delay_layers, total_queries
             while waiting:
                 in_flight[:] = [f for f in in_flight if f > now]
                 if len(in_flight) >= model.parallelism or now < next_admission:
                     break
                 request_time, _, algorithm = heapq.heappop(waiting)
                 start = now
-                finish = start + model.query_latency
+                finish = start + model.weighted_query_latency
                 in_flight.append(finish)
                 next_admission = start + model.admission_interval
                 busy_intervals.append((start, finish))
                 query_intervals.append((start, finish))
-                total_queue_delay += start - request_time
+                total_queue_delay_layers += start - request_time
                 total_queries += 1
                 heapq.heappush(events, (finish, sequence, "complete", algorithm))
                 sequence += 1
@@ -201,7 +201,7 @@ class SharedQRAMSimulation:
             qram_query_layers=query_layers,
             average_utilization=average_utilization,
             total_queries=total_queries,
-            total_queue_delay=total_queue_delay,
+            total_queue_delay_layers=total_queue_delay_layers,
         )
 
 

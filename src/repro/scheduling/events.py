@@ -32,12 +32,12 @@ def periodic_algorithm_arrivals(
     num_algorithms: int,
     queries_per_algorithm: int,
     processing_layers: float,
-    query_latency: float,
+    weighted_query_latency: float,
     stagger: float = 0.0,
 ) -> list[QueryArrival]:
     """Arrivals of algorithms that alternate querying and processing (Fig. 7).
 
-    Each algorithm issues a query, waits for it to complete (``query_latency``
+    Each algorithm issues a query, waits for it to complete (``weighted_query_latency``
     layers), processes for ``processing_layers`` layers, and repeats.  The
     *requests* generated here assume no queueing (they are the earliest times
     each query could be issued); the contention simulator recomputes actual
@@ -49,13 +49,13 @@ def periodic_algorithm_arrivals(
         num_algorithms: number of concurrent algorithms (QPUs).
         queries_per_algorithm: queries each algorithm issues.
         processing_layers: QPU processing time between queries.
-        query_latency: nominal query service time used for spacing requests.
+        weighted_query_latency: nominal query service time used for spacing requests.
         stagger: offset between the start times of successive algorithms.
     """
     pairs = periodic_times(
         num_algorithms,
         queries_per_algorithm,
-        query_latency + processing_layers,
+        weighted_query_latency + processing_layers,
         stagger,
     )
     arrivals = [

@@ -414,3 +414,41 @@ def test_encoded_backend_rejects_distance_one():
 
     with pytest.raises(ValueError):
         EncodedBackend(build_backend("BB", CAPACITY), distance=1)
+
+
+# ------------------------------------------- prediction caches (simlint SIM003)
+@pytest.mark.parametrize("name", ALL_BACKENDS + ["Fat-Tree@d3"])
+def test_write_memory_invalidates_prediction_cache(name):
+    """Every backend pairs memory writes with prediction-cache invalidation.
+
+    Whitebox on purpose: today's predictions don't read the memory
+    *contents*, so only the cache attribute itself can witness that the
+    mutation/invalidation pairing (simlint SIM003) holds — it must keep
+    holding when a data-dependent noise term makes staleness observable.
+    """
+    backend = build_backend(name, 16, random_data(16, seed=2))
+    before = backend.predicted_window_fidelities(2)
+    assert "_predicted_fidelity_cache" in backend.__dict__
+    backend.write_memory(3, 1)
+    assert "_predicted_fidelity_cache" not in backend.__dict__
+    # Predictions rebuild cleanly after the drop.
+    assert backend.predicted_window_fidelities(2) == before
+
+
+def test_distributed_subbatch_sizes_iterate_deterministically():
+    """Regression: per-copy sub-batch sizes are visited via sorted(set(...)),
+    never raw set order, so the prediction is a pure function of batch size."""
+    copies = build_backend("D-Fat-Tree", 16).model.num_copies
+    assert copies >= 2
+    batch = copies + 1  # copy 0 gets two local slots, every other copy one
+    runs = [
+        build_backend("D-Fat-Tree", 16).predicted_window_fidelities(batch)
+        for _ in range(3)
+    ]
+    assert runs[0] == runs[1] == runs[2]
+    fids = runs[0]
+    # Slots 1..copies-1 are singleton sub-batches: identical fidelity.
+    assert len(set(fids[1:copies])) == 1
+    # Copy 0's two slots (0 and `copies`) share a sub-batch; pipelining
+    # crosstalk degrades both below the singleton prediction.
+    assert fids[0] == fids[copies] < fids[1]

@@ -11,7 +11,15 @@ from repro import (
     ServiceEngine,
     TraceSource,
 )
-from repro.engine.events import Arrival, EventHeap, WindowDrain, WindowStart
+from repro.engine.events import (
+    Arrival,
+    ClientThink,
+    EventHeap,
+    ScaleCheck,
+    TelemetryTick,
+    WindowDrain,
+    WindowStart,
+)
 from repro.metrics.service_stats import REJECT_DEADLINE_EXPIRED, REJECT_QUEUE_FULL
 from repro.scheduling.events import random_arrivals
 from repro.workloads import (
@@ -40,6 +48,88 @@ def test_event_heap_orders_by_time_then_priority():
     kinds = [type(heap.pop()[1]) for _ in range(4)]
     # Earlier time first; at equal times arrivals < drains < starts.
     assert kinds == [WindowStart, Arrival, WindowDrain, WindowStart]
+
+
+def test_event_priorities_are_unique_and_pinned():
+    # The registry is part of the determinism contract (simlint SIM004):
+    # renumbering silently changes every same-instant resolution order.
+    priorities = {
+        Arrival: 0,
+        ClientThink: 1,
+        WindowDrain: 2,
+        ScaleCheck: 3,
+        WindowStart: 4,
+        TelemetryTick: 5,
+    }
+    for event_type, priority in priorities.items():
+        assert event_type.PRIORITY == priority
+    assert len(set(priorities.values())) == len(priorities)
+
+
+def test_same_timestamp_events_pop_across_all_priority_levels():
+    heap = EventHeap()
+    q0, q1 = QueryRequest(0, {0: 1.0}), QueryRequest(1, {0: 1.0})
+    scrambled = [
+        WindowStart(0),
+        Arrival(q0),
+        TelemetryTick(),
+        WindowDrain(0),
+        ClientThink(1),
+        ScaleCheck(),
+        WindowStart(1),
+        Arrival(q1),
+        WindowDrain(1),
+        ClientThink(2),
+        ScaleCheck(),
+        TelemetryTick(),
+    ]
+    for event in scrambled:
+        heap.push(4.0, event)
+    popped = [heap.pop()[1] for _ in range(len(scrambled))]
+    # Priority levels resolve in order; within a level, insertion order.
+    assert popped == [
+        Arrival(q0),
+        Arrival(q1),
+        ClientThink(1),
+        ClientThink(2),
+        WindowDrain(0),
+        WindowDrain(1),
+        ScaleCheck(),
+        ScaleCheck(),
+        WindowStart(0),
+        WindowStart(1),
+        TelemetryTick(),
+        TelemetryTick(),
+    ]
+
+
+def test_event_heap_ties_resolve_in_insertion_order_interleaved():
+    heap = EventHeap()
+    a, b, c, d = (Arrival(QueryRequest(i, {0: 1.0})) for i in range(4))
+    heap.push(2.0, a)
+    heap.push(2.0, b)
+    assert heap.pop() == (2.0, a)
+    heap.push(2.0, c)  # arrives after a pop, still behind b at t=2.0
+    heap.push(1.0, d)  # earlier time beats every same-priority tie
+    assert [heap.pop()[1] for _ in range(3)] == [d, b, c]
+    assert not heap
+
+
+def test_event_heap_key_shape_is_pinned():
+    # (time, PRIORITY, sequence, event) — the shape SIM004 enforces; the
+    # monotone sequence both breaks ties and keeps payloads un-compared.
+    heap = EventHeap()
+    heap.push(3.0, ScaleCheck())
+    heap.push(3.0, ScaleCheck())
+    sequences = []
+    for entry in heap._heap:
+        assert len(entry) == 4
+        time, priority, sequence, event = entry
+        assert time == 3.0
+        assert priority == ScaleCheck.PRIORITY
+        assert isinstance(event, ScaleCheck)
+        sequences.append(sequence)
+    assert sequences == sorted(sequences) and len(set(sequences)) == 2
 
 
 # -------------------------------------------------- open loop == legacy serve

@@ -60,7 +60,7 @@ def test_two_pipelined_queries_are_independent_and_correct():
     for request in requests:
         assert executor.query_fidelity(request, outputs[request.query_id]) == pytest.approx(1.0)
     assert executor.tree_is_clean()
-    assert summary.per_query_raw_latency == 29
+    assert summary.per_query_raw_layers == 29
     assert summary.max_concurrent == 2
 
 
@@ -91,7 +91,7 @@ def test_capacity4_pipelined_queries():
     summary, outputs = executor.run_pipelined_queries(requests)
     for request in requests:
         assert executor.query_fidelity(request, outputs[request.query_id]) == pytest.approx(1.0)
-    assert summary.per_query_raw_latency == 19
+    assert summary.per_query_raw_layers == 19
     assert executor.tree_is_clean()
 
 

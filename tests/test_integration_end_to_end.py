@@ -73,7 +73,7 @@ def test_shared_memory_system_throughput_improves_with_fat_tree():
         model = QRAMServiceModel.from_architecture(build_architecture(name, 256))
         reports[name] = SharedQRAMSimulation(model).run(workloads)
     assert reports["Fat-Tree"].overall_depth < reports["BB"].overall_depth
-    assert reports["Fat-Tree"].total_queue_delay <= reports["BB"].total_queue_delay
+    assert reports["Fat-Tree"].total_queue_delay_layers <= reports["BB"].total_queue_delay_layers
 
 
 def test_memory_contents_are_respected_after_updates_everywhere():

@@ -24,7 +24,7 @@ from repro.scheduling.utilization import (
 
 
 def test_periodic_arrivals_structure():
-    arrivals = periodic_algorithm_arrivals(3, 4, processing_layers=10, query_latency=20)
+    arrivals = periodic_algorithm_arrivals(3, 4, processing_layers=10, weighted_query_latency=20)
     assert len(arrivals) == 12
     assert arrivals[0].request_time == 0.0
     per_qpu = [a for a in arrivals if a.qpu == 1]
@@ -81,20 +81,20 @@ def test_service_model_from_architectures():
     bb = QRAMServiceModel.from_architecture(build_architecture("BB", 1024))
     assert ft.parallelism == 10 and bb.parallelism == 1
     assert ft.admission_interval == pytest.approx(8.25)
-    assert bb.admission_interval == pytest.approx(bb.query_latency)
+    assert bb.admission_interval == pytest.approx(bb.weighted_query_latency)
     with pytest.raises(ValueError):
         QRAMServiceModel("bad", -1, 1, 1)
 
 
 def test_contention_simulation_single_algorithm():
-    model = QRAMServiceModel("Fat-Tree", query_latency=24.625, admission_interval=8.25, parallelism=3)
+    model = QRAMServiceModel("Fat-Tree", weighted_query_latency=24.625, admission_interval=8.25, parallelism=3)
     report = SharedQRAMSimulation(model).run(
         [AlgorithmWorkload(0, rounds=3, processing_layers=10.0)]
     )
     # 3 rounds of (query + processing) executed strictly sequentially.
     assert report.overall_depth == pytest.approx(3 * (24.625 + 10.0))
     assert report.total_queries == 3
-    assert report.total_queue_delay == pytest.approx(0.0)
+    assert report.total_queue_delay_layers == pytest.approx(0.0)
 
 
 def test_fat_tree_scales_better_than_bb_under_contention():
@@ -104,7 +104,7 @@ def test_fat_tree_scales_better_than_bb_under_contention():
     ft_report = SharedQRAMSimulation(QRAMServiceModel.from_architecture(ft)).run(workloads)
     bb_report = SharedQRAMSimulation(QRAMServiceModel.from_architecture(bb)).run(workloads)
     assert ft_report.overall_depth < bb_report.overall_depth / 3
-    assert ft_report.total_queue_delay < bb_report.total_queue_delay
+    assert ft_report.total_queue_delay_layers < bb_report.total_queue_delay_layers
 
 
 def test_utilization_helpers():

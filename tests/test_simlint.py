@@ -1,0 +1,417 @@
+"""simlint: each SIM rule pinned on violating and clean fixtures.
+
+Every rule gets at least one fixture it must flag and one it must pass;
+the framework (suppressions, baseline, CLI, JSON output) is exercised
+end-to-end; and the acceptance gate — the real tree lints clean with an
+empty baseline — runs as a test so it can never silently regress.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.simlint import (  # noqa: E402
+    all_rules,
+    lint_paths,
+    lint_source,
+    load_baseline,
+)
+
+
+def codes(result):
+    return [finding.rule for finding in result.findings]
+
+
+# -------------------------------------------------------------------- registry
+def test_all_six_rules_registered():
+    assert sorted(all_rules()) == [
+        "SIM001",
+        "SIM002",
+        "SIM003",
+        "SIM004",
+        "SIM005",
+        "SIM006",
+    ]
+
+
+# --------------------------------------------------------------------- SIM001
+def test_sim001_flags_wall_clock_and_unseeded_rng():
+    result = lint_source(
+        "import time, random\n"
+        "def stamp():\n"
+        "    return time.time() + random.random()\n",
+        rules=["SIM001"],
+    )
+    messages = " ".join(f.message for f in result.findings)
+    assert codes(result) == ["SIM001", "SIM001"]
+    assert "wall-clock" in messages and "unseeded" in messages
+
+
+def test_sim001_flags_set_iteration_feeding_order():
+    result = lint_source(
+        "def schedule(batch):\n"
+        "    pending = set(batch)\n"
+        "    for query in pending:\n"
+        "        emit(query)\n",
+        rules=["SIM001"],
+    )
+    assert codes(result) == ["SIM001"]
+    assert "hash-ordered" in result.findings[0].message
+
+
+def test_sim001_flags_keys_iteration():
+    result = lint_source(
+        "def walk(d):\n"
+        "    for k in d.keys():\n"
+        "        emit(k)\n",
+        rules=["SIM001"],
+    )
+    assert codes(result) == ["SIM001"]
+
+
+def test_sim001_clean_sorted_sets_and_seeded_rng():
+    result = lint_source(
+        "import random\n"
+        "def schedule(batch):\n"
+        "    rng = random.Random(42)\n"
+        "    for query in sorted(set(batch)):\n"
+        "        emit(query, rng.random())\n"
+        "    total = sum(x for x in set(batch))\n"
+        "    for k in sorted(d.keys()):\n"
+        "        emit(k)\n",
+        rules=["SIM001"],
+    )
+    assert result.ok, codes(result)
+
+
+# --------------------------------------------------------------------- SIM002
+def test_sim002_flags_push_into_the_past():
+    # ServiceEngine owns the clock, so only the dataflow check can fire here.
+    result = lint_source(
+        "class ServiceEngine:\n"
+        "    def on_drain(self, now):\n"
+        "        self._heap.push(now - 1.0, object())\n",
+        rules=["SIM002"],
+    )
+    assert codes(result) == ["SIM002"]
+    assert "virtual time" in result.findings[0].message
+
+
+def test_sim002_flags_foreign_clock_advance_and_bare_heap_keys():
+    result = lint_source(
+        "import heapq\n"
+        "class Rogue:\n"
+        "    def advance(self, t):\n"
+        "        self._now = t\n"
+        "def enqueue(heap, item):\n"
+        "    heapq.heappush(heap, (item.time, item))\n",
+        rules=["SIM002"],
+    )
+    assert codes(result) == ["SIM002", "SIM002"]
+
+
+def test_sim002_clean_forward_scheduling():
+    result = lint_source(
+        "import heapq\n"
+        "class ServiceEngine:\n"
+        "    def _execute(self, shard, admit):\n"
+        "        self._busy_until[shard] = admit + self.total\n"
+        "        self._heap.push(self._busy_until[shard], object())\n"
+        "    def _on_tick(self, now):\n"
+        "        self._heap.push(now + self.period, object())\n"
+        "    def schedule_think(self, time):\n"
+        "        self._heap.push(max(0.0, time), object())\n"
+        "def enqueue(heap, item, sequence):\n"
+        "    heapq.heappush(heap, (item.time, sequence, item))\n",
+        rules=["SIM002"],
+    )
+    assert result.ok, [f.message for f in result.findings]
+
+
+# --------------------------------------------------------------------- SIM003
+_CACHE_VIOLATION = """
+class Executor:
+    def __init__(self, data):
+        self.data = data
+        self._schedule_cache = {}
+
+    def schedule(self, n):
+        if n not in self._schedule_cache:
+            self._schedule_cache[n] = build(self.data, n)
+        return self._schedule_cache[n]
+
+    def write_data(self, address, value):
+        self.data[address] = value
+"""
+
+
+def test_sim003_flags_mutation_without_invalidation():
+    result = lint_source(_CACHE_VIOLATION, rules=["SIM003"])
+    assert codes(result) == ["SIM003"]
+    assert "write_data" in result.findings[0].message
+    assert "_schedule_cache" in result.findings[0].message
+
+
+def test_sim003_clean_when_mutator_invalidates():
+    fixed = _CACHE_VIOLATION + "        self._schedule_cache.clear()\n"
+    assert lint_source(fixed, rules=["SIM003"]).ok
+
+
+def test_sim003_sees_lazy_dict_caches_and_inherited_mutators():
+    source = """
+class Mixin:
+    def predictions(self, n):
+        cache = self.__dict__.setdefault("_prediction_cache", {})
+        if n not in cache:
+            cache[n] = predict(self.model, n)
+        return cache[n]
+
+class Backend(Mixin):
+    def write_memory(self, address, value):
+        self.model.write_memory(address, value)
+"""
+    result = lint_source(source, rules=["SIM003"])
+    assert codes(result) == ["SIM003"]
+    assert "_prediction_cache" in result.findings[0].message
+
+    fixed = source + "        self.__dict__.pop('_prediction_cache', None)\n"
+    assert lint_source(fixed, rules=["SIM003"]).ok
+
+
+def test_sim003_clean_when_invalidation_is_transitive():
+    source = """
+class Backend:
+    def fill(self, n):
+        self._f_cache = {n: predict(self.model, n)}
+
+    def _invalidate(self):
+        self._f_cache = {}
+
+    def write_memory(self, address, value):
+        self.model.write_memory(address, value)
+        self._invalidate()
+"""
+    assert lint_source(source, rules=["SIM003"]).ok
+
+
+# --------------------------------------------------------------------- SIM004
+_EVENTS_TEMPLATE = """
+from typing import ClassVar, Union
+
+class Arrival:
+    PRIORITY: ClassVar[int] = 0
+
+class Drain:
+    PRIORITY: ClassVar[int] = {drain_priority}
+
+Event = Union[Arrival, Drain]
+"""
+
+
+def test_sim004_flags_duplicate_priorities():
+    result = lint_source(
+        _EVENTS_TEMPLATE.format(drain_priority=0), rules=["SIM004"]
+    )
+    assert codes(result) == ["SIM004"]
+    assert "collides" in result.findings[0].message
+
+
+def test_sim004_flags_union_member_without_priority():
+    source = (
+        "from typing import ClassVar, Union\n"
+        "class Arrival:\n"
+        "    PRIORITY: ClassVar[int] = 0\n"
+        "class Stray:\n"
+        "    pass\n"
+        "Event = Union[Arrival, Stray]\n"
+    )
+    result = lint_source(source, rules=["SIM004"])
+    assert codes(result) == ["SIM004"]
+    assert "Stray" in result.findings[0].message
+
+
+def test_sim004_pins_heap_key_shape():
+    source = (
+        "import heapq\n"
+        "def push(heap, time, event, seq):\n"
+        "    heapq.heappush(heap, (time, seq, event.PRIORITY, event))\n"
+    )
+    result = lint_source(source, rules=["SIM004"])
+    assert codes(result) == ["SIM004"]
+    assert "pinned" in result.findings[0].message
+
+
+def test_sim004_clean_registry_and_key():
+    clean = _EVENTS_TEMPLATE.format(drain_priority=1) + (
+        "import heapq\n"
+        "def push(heap, time, event, sequence):\n"
+        "    heapq.heappush(heap, (time, event.PRIORITY, sequence, event))\n"
+    )
+    assert lint_source(clean, rules=["SIM004"]).ok
+
+
+# --------------------------------------------------------------------- SIM005
+def test_sim005_flags_mutated_module_global():
+    result = lint_source(
+        "REGISTRY = {}\n"
+        "def register(name, spec):\n"
+        "    REGISTRY[name] = spec\n",
+        rules=["SIM005"],
+    )
+    assert codes(result) == ["SIM005"]
+    assert "mutated" in result.findings[0].message
+
+
+def test_sim005_flags_class_body_mutable():
+    result = lint_source(
+        "class Shard:\n"
+        "    pending = []\n",
+        rules=["SIM005"],
+    )
+    assert codes(result) == ["SIM005"]
+    assert "shared across every instance" in result.findings[0].message
+
+
+def test_sim005_clean_frozen_and_readonly_state():
+    result = lint_source(
+        "from dataclasses import dataclass, field\n"
+        "KINDS = frozenset({'a', 'b'})\n"
+        "NAMES = {'fifo': 1, 'lifo': 2}\n"  # read-only: never mutated
+        "@dataclass\n"
+        "class Queue:\n"
+        "    items: list = field(default_factory=list)\n"
+        "def lookup(name):\n"
+        "    return NAMES[name]\n",
+        rules=["SIM005"],
+    )
+    assert result.ok, [f.message for f in result.findings]
+    assert any("read-only" in item for item in result.inventory)
+
+
+# --------------------------------------------------------------------- SIM006
+def test_sim006_flags_unsuffixed_duration_field_and_param():
+    result = lint_source(
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class Stats:\n"
+        "    latency: float\n"
+        "def wait(delay: float) -> None:\n"
+        "    pass\n",
+        rules=["SIM006"],
+    )
+    assert codes(result) == ["SIM006", "SIM006"]
+
+
+def test_sim006_flags_mixed_unit_arithmetic():
+    result = lint_source(
+        "def convert(latency_ns, latency_layers):\n"
+        "    return latency_ns + latency_layers\n",
+        rules=["SIM006"],
+    )
+    assert codes(result) == ["SIM006"]
+    assert "mix units" in result.findings[0].message
+
+
+def test_sim006_clean_suffixed_and_weighted_names():
+    result = lint_source(
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class Stats:\n"
+        "    latency_layers: float\n"
+        "    weighted_latency: float\n"
+        "    queue_delay_layers: float\n"
+        "def wait(delay_seconds: float, latency_ns: int) -> None:\n"
+        "    total_layers = 1.0\n"
+        "    span = total_layers + weighted_total\n",  # same unit family
+        rules=["SIM006"],
+    )
+    assert result.ok, [f.message for f in result.findings]
+
+
+# ------------------------------------------------------------------ framework
+def test_line_suppression_comment():
+    result = lint_source(
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()  # simlint: disable=SIM001\n",
+        rules=["SIM001"],
+    )
+    assert result.ok
+    assert result.suppressed == 1
+
+
+def test_file_level_suppression():
+    result = lint_source(
+        "# simlint: disable-file=SIM005\n"
+        "REGISTRY = {}\n"
+        "def register(name, spec):\n"
+        "    REGISTRY[name] = spec\n",
+        rules=["SIM005"],
+    )
+    assert result.ok
+    assert result.suppressed == 1
+
+
+def test_suppression_is_per_rule():
+    result = lint_source(
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()  # simlint: disable=SIM006\n",
+        rules=["SIM001"],
+    )
+    assert codes(result) == ["SIM001"]
+
+
+def test_unknown_rule_selection_raises():
+    with pytest.raises(KeyError):
+        lint_source("x = 1\n", rules=["SIM999"])
+
+
+# ------------------------------------------------------------------------ CLI
+def _run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "tools.simlint", *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_cli_json_output_on_violating_file(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nSTAMP = time.time()\n")
+    proc = _run_cli(str(bad), "--format", "json")
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["counts"] == {"SIM001": 1}
+    assert not payload["ok"]
+
+
+def test_cli_list_rules():
+    proc = _run_cli("--list-rules")
+    assert proc.returncode == 0
+    for code in ("SIM001", "SIM006"):
+        assert code in proc.stdout
+
+
+def test_cli_unknown_path_is_usage_error(tmp_path):
+    proc = _run_cli(str(tmp_path / "missing_dir"))
+    assert proc.returncode == 2
+
+
+# ------------------------------------------------------------ acceptance gate
+def test_baseline_allowlist_is_empty():
+    assert load_baseline() == set()
+
+
+def test_src_tree_is_simlint_clean():
+    result = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+    assert result.ok, "\n".join(f.render() for f in result.findings)
+    assert result.suppressed == 0, "the tree must be clean, not suppressed"

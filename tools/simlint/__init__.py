@@ -1,0 +1,48 @@
+"""simlint — an AST-based simulation-safety analyzer for ``src/repro``.
+
+The discrete-event serving engine is only parallelizable if it is *provably*
+deterministic: no wall-clock reads, no unseeded randomness, no unordered-set
+iteration feeding event order, no stale memoized caches, a pinned heap-key
+shape, and a single unit convention for every duration-valued field.  simlint
+encodes those invariants as machine-checked rules:
+
+========  ==============================================================
+SIM001    determinism: wall-clock / unseeded RNG / unordered iteration
+SIM002    virtual-clock discipline: no events scheduled in the past,
+          only ``ServiceEngine`` / ``EventHeap`` advance the clock
+SIM003    cache-invalidation pairing: every mutating method of a class
+          with a ``*_cache`` attribute must invalidate that cache
+SIM004    event-priority registry: unique integer ``PRIORITY`` per event
+          type, pinned heap-key shape
+SIM005    shared-mutable-state inventory: module-level / class-level
+          mutable state that would race under a worker-parallel core
+SIM006    units: duration-valued fields and parameters carry an explicit
+          unit suffix and units never mix in arithmetic
+========  ==============================================================
+
+Run it as ``python -m tools.simlint src``.  Findings can be suppressed per
+line (``# simlint: disable=SIM001``) or per file
+(``# simlint: disable-file=SIM005`` near the top of the module); the JSON
+baseline (``tools/simlint/baseline.json``) is an allowlist of known
+findings and ships empty — the tree is lint-clean.
+"""
+
+from tools.simlint.framework import (
+    Finding,
+    LintResult,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    load_baseline,
+)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+]

@@ -1,0 +1,105 @@
+"""Command-line entry point: ``python -m tools.simlint src``.
+
+Exit status: 0 when the tree is clean, 1 when any finding survives
+suppressions and the baseline, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from tools.simlint.framework import all_rules, lint_paths, load_baseline
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.simlint",
+        description="simulation-safety static analysis for src/repro",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline allowlist (default: tools/simlint/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline allowlist",
+    )
+    parser.add_argument(
+        "--inventory",
+        action="store_true",
+        help="also print the shared-mutable-state inventory (SIM005)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    registry = all_rules()
+    if args.list_rules:
+        for code, rule in registry.items():
+            print(f"{code}  {rule.name}: {rule.summary}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [code.strip() for code in args.rules.split(",") if code.strip()]
+        unknown = [code for code in rules if code not in registry]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"no such path(s): {', '.join(str(p) for p in missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    baseline = set() if args.no_baseline else load_baseline(args.baseline)
+    result = lint_paths(paths, rules=rules, baseline=baseline)
+
+    if args.format == "json":
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        if args.inventory and result.inventory:
+            print("\nshared-state inventory:")
+            for item in result.inventory:
+                print(f"  {item}")
+        summary = (
+            f"{len(result.findings)} finding(s) in {result.files} file(s)"
+            f" ({result.suppressed} suppressed, {result.baselined} baselined)"
+        )
+        print(("FAIL: " if result.findings else "OK: ") + summary)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Shared AST helpers for simlint rules."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Annotate every node with a ``parent`` attribute (None for the root)."""
+    tree.parent = None  # type: ignore[attr-defined]
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child.parent = node  # type: ignore[attr-defined]
+
+
+def parent_of(node: ast.AST) -> ast.AST | None:
+    """Parent node attached by :func:`attach_parents` (None at the root)."""
+    return getattr(node, "parent", None)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> str | None:
+    """Dotted name of a call's callee (``sorted``, ``time.time``, ...)."""
+    return dotted_name(call.func)
+
+
+def is_self_attribute(node: ast.AST) -> str | None:
+    """Return the attribute name when ``node`` is ``self.<attr>``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, ast.ClassDef | None]]:
+    """Yield every function with its immediately enclosing class (or None)."""
+
+    def walk(node: ast.AST, cls: ast.ClassDef | None) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from walk(child, child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, cls
+                yield from walk(child, cls)
+            else:
+                yield from walk(child, cls)
+
+    yield from walk(tree, None)
+
+
+def function_params(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[ast.arg]:
+    """All positional / keyword-only / vararg parameters of a function."""
+    a = fn.args
+    params = list(a.posonlyargs) + list(a.args) + list(a.kwonlyargs)
+    if a.vararg:
+        params.append(a.vararg)
+    if a.kwarg:
+        params.append(a.kwarg)
+    return params
+
+
+def annotation_text(node: ast.AST | None) -> str:
+    """Source text of an annotation node ('' when absent)."""
+    if node is None:
+        return ""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - malformed annotation
+        return ""
+
+
+def const_int(node: ast.AST) -> int | None:
+    """The value of an integer Constant node, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        if not isinstance(node.value, bool):
+            return node.value
+    return None

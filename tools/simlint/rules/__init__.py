@@ -1,0 +1,10 @@
+"""Rule modules; importing this package registers every rule."""
+
+from tools.simlint.rules import (  # noqa: F401
+    sim001_determinism,
+    sim002_clock,
+    sim003_caches,
+    sim004_priorities,
+    sim005_shared_state,
+    sim006_units,
+)

@@ -1,0 +1,288 @@
+"""SIM001 — determinism.
+
+Simulation results must be a pure function of (workload, configuration,
+seed).  This rule bans the classic sources of hidden nondeterminism:
+
+* wall-clock reads (``time.time``, ``datetime.now``, ...);
+* unseeded randomness (module-level ``random.*`` calls, ``random.Random()``
+  with no seed, ``os.urandom``, ``uuid.uuid4``, ``secrets.*``);
+* iteration over set-typed values — Python sets iterate in hash order, which
+  varies across processes — unless the iteration is wrapped in ``sorted()``
+  or feeds an order-insensitive reduction (``sum`` / ``min`` / ``max`` /
+  ``any`` / ``all`` / ``len`` / ``set`` / ``frozenset``);
+* iterating ``d.keys()`` instead of the mapping itself: insertion order is
+  deterministic, but spelling it ``.keys()`` hides whether ordering was
+  considered — iterate the dict directly or sort explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.simlint.astutil import call_name, parent_of
+from tools.simlint.framework import Finding, ModuleInfo, Project, Rule, register
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+}
+
+_UNSEEDED_RANDOM = {
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "normalvariate",
+    "lognormvariate",
+    "expovariate",
+    "betavariate",
+    "triangular",
+    "vonmisesvariate",
+    "paretovariate",
+    "weibullvariate",
+    "getrandbits",
+    "randbytes",
+}
+
+_ENTROPY = {"os.urandom", "uuid.uuid4", "uuid.uuid1"}
+
+#: Calls that consume an iterable order-insensitively (or impose an order).
+_ORDER_NEUTRAL_CALLS = {
+    "sorted",
+    "sum",
+    "min",
+    "max",
+    "any",
+    "all",
+    "len",
+    "set",
+    "frozenset",
+}
+
+#: Methods whose return value is set-typed regardless of the receiver.
+_SET_RETURNING_METHODS = {
+    "difference",
+    "union",
+    "intersection",
+    "symmetric_difference",
+}
+
+
+def _is_set_expr(node: ast.AST, set_vars: set[str]) -> bool:
+    """Best-effort: does this expression evaluate to a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_vars:
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in ("set", "frozenset") and node.args:
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_RETURNING_METHODS
+        ):
+            return True
+    return False
+
+
+def _neutralized(iter_node: ast.AST) -> bool:
+    """Is this iteration consumed by an order-neutral call (e.g. sorted)?"""
+    parent = parent_of(iter_node)
+    if isinstance(parent, ast.Call) and call_name(parent) in _ORDER_NEUTRAL_CALLS:
+        return True
+    # generator expression directly inside sorted()/min()/... :
+    # ``min(x for x in some_set)`` — the comprehension node's parent call.
+    if isinstance(parent, ast.comprehension):
+        comp = parent_of(parent)
+        outer = parent_of(comp) if comp is not None else None
+        if isinstance(comp, ast.GeneratorExp) and isinstance(outer, ast.Call):
+            if call_name(outer) in _ORDER_NEUTRAL_CALLS:
+                return True
+    return False
+
+
+def _walk_scope(body: list[ast.stmt]):
+    """Walk a scope's statements without descending into nested functions."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.append(child)
+
+
+class _Scope(ast.NodeVisitor):
+    """Collect names bound to set-typed expressions within one scope body."""
+
+    def __init__(self) -> None:
+        self.set_vars: set[str] = set()
+
+    def collect(self, body: list[ast.stmt]) -> set[str]:
+        for stmt in body:
+            self.visit(stmt)
+        return self.set_vars
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scopes are analyzed separately
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+    visit_ClassDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_expr(node.value, self.set_vars):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.set_vars.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and _is_set_expr(node.value, self.set_vars):
+            if isinstance(node.target, ast.Name):
+                self.set_vars.add(node.target.id)
+        self.generic_visit(node)
+
+
+@register
+class DeterminismRule(Rule):
+    code = "SIM001"
+    name = "determinism"
+    summary = (
+        "no wall-clock reads, unseeded randomness, or iteration over "
+        "unordered sets"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        findings.extend(self._check_calls(module))
+        findings.extend(self._check_iteration(module))
+        return findings
+
+    # ------------------------------------------------------ wall clock / RNG
+    def _check_calls(self, module: ModuleInfo) -> list[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            tail2 = ".".join(name.split(".")[-2:])
+            if name in _WALL_CLOCK or tail2 in _WALL_CLOCK:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"wall-clock read `{name}()` — simulation time must "
+                        "come from the virtual clock",
+                    )
+                )
+            elif name.startswith("secrets.") or name in _ENTROPY:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"entropy source `{name}()` is nondeterministic",
+                    )
+                )
+            elif name.startswith("random.") and name.split(".", 1)[1] in (
+                _UNSEEDED_RANDOM
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"`{name}()` uses the unseeded global RNG — "
+                        "use a seeded `random.Random(seed)` instance",
+                    )
+                )
+            elif name in ("random.Random", "Random", "random.SystemRandom"):
+                if name.endswith("SystemRandom"):
+                    findings.append(
+                        self.finding(
+                            module, node, "`SystemRandom` draws OS entropy"
+                        )
+                    )
+                elif not node.args and not node.keywords:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "`random.Random()` without a seed is "
+                            "nondeterministic — pass an explicit seed",
+                        )
+                    )
+        return findings
+
+    # ------------------------------------------------------------- iteration
+    def _check_iteration(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        scopes: list[list[ast.stmt]] = [module.tree.body]
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node.body)
+        for body in scopes:
+            set_vars = _Scope().collect(body)
+            for node in _walk_scope(body):
+                for iter_node in self._iter_exprs(node):
+                    findings.extend(
+                        self._check_one_iter(module, iter_node, set_vars)
+                    )
+        return findings
+
+    @staticmethod
+    def _iter_exprs(node: ast.AST) -> list[ast.AST]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return [node.iter]
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            return [gen.iter for gen in node.generators]
+        return []
+
+    def _check_one_iter(
+        self, module: ModuleInfo, iter_node: ast.AST, set_vars: set[str]
+    ) -> list[Finding]:
+        if _is_set_expr(iter_node, set_vars):
+            if _neutralized(iter_node):
+                return []
+            return [
+                self.finding(
+                    module,
+                    iter_node,
+                    "iteration over a set is hash-ordered and "
+                    "nondeterministic — wrap it in sorted()",
+                )
+            ]
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Attribute)
+            and iter_node.func.attr == "keys"
+            and not iter_node.args
+        ):
+            if _neutralized(iter_node):
+                return []
+            return [
+                self.finding(
+                    module,
+                    iter_node,
+                    "iterate the mapping directly (or via sorted()) instead "
+                    "of `.keys()` so ordering intent is explicit",
+                )
+            ]
+        return []

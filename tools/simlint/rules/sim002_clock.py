@@ -1,0 +1,282 @@
+"""SIM002 — virtual-clock discipline.
+
+The virtual clock only moves forward, and only the engine moves it:
+
+* event handlers may not schedule events in the past: inside any function
+  that receives the current virtual time (a parameter named ``now`` /
+  ``admit`` / ``time`` / ``current_time``), every ``heap.push(ts, ...)`` or
+  ``heapq.heappush(heap, (ts, ...))`` must use a timestamp provable to be
+  ``>= now`` by a forward dataflow walk (the time parameter itself, ``t +
+  delta``, ``max(..., t)``, or a local / ``self.attr[i]`` previously bound
+  to such a value — ``t - delta`` is rejected);
+* only ``ServiceEngine`` / ``EventHeap`` may advance the clock: stores to a
+  ``_now`` / ``now`` *attribute* and direct ``._heap`` manipulation outside
+  those classes are flagged;
+* every raw ``heapq.heappush`` key must be a tuple carrying an explicit
+  monotone sequence element (a name containing ``seq``) so ties never fall
+  through to payload comparison.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.simlint.astutil import call_name, dotted_name, function_params
+from tools.simlint.framework import Finding, ModuleInfo, Project, Rule, register
+
+#: Only these classes may own / advance the virtual clock.
+CLOCK_OWNERS = ("ServiceEngine", "EventHeap")
+
+#: Parameter names that carry the current virtual time into a handler.
+_TIME_PARAMS = ("now", "admit", "time", "current_time")
+
+
+def _seq_element(node: ast.AST) -> bool:
+    """Does a heap-key element look like a monotone sequence counter?"""
+    name = dotted_name(node)
+    return name is not None and "seq" in name.rsplit(".", 1)[-1].lower()
+
+
+class _TimeSafety:
+    """Forward dataflow: which expressions are provably >= the time param."""
+
+    def __init__(self, time_params: set[str]) -> None:
+        self.safe_names: set[str] = set(time_params)
+        self.safe_subscripts: set[tuple[str, str]] = set()
+
+    def observe(self, stmt: ast.stmt) -> None:
+        """Track local / self-attribute-subscript bindings to safe values."""
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        elif isinstance(stmt, ast.AugAssign):
+            # ``t += delta`` keeps t safe only for Add.
+            if isinstance(stmt.target, ast.Name) and isinstance(stmt.op, ast.Add):
+                return
+            if isinstance(stmt.target, ast.Name):
+                self.safe_names.discard(stmt.target.id)
+            return
+        else:
+            return
+        safe = self.is_safe(value)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if safe:
+                    self.safe_names.add(target.id)
+                else:
+                    self.safe_names.discard(target.id)
+            elif isinstance(target, ast.Subscript):
+                key = self._subscript_key(target)
+                if key is not None:
+                    if safe:
+                        self.safe_subscripts.add(key)
+                    else:
+                        self.safe_subscripts.discard(key)
+
+    @staticmethod
+    def _subscript_key(node: ast.Subscript) -> tuple[str, str] | None:
+        base = dotted_name(node.value)
+        index = dotted_name(node.slice)
+        if base is not None and index is not None:
+            return (base, index)
+        return None
+
+    def is_safe(self, node: ast.AST) -> bool:
+        """Is this timestamp expression provably >= the current time?"""
+        if isinstance(node, ast.Name):
+            return node.id in self.safe_names
+        if isinstance(node, ast.Subscript):
+            key = self._subscript_key(node)
+            return key is not None and key in self.safe_subscripts
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            return self.is_safe(node.left) or self.is_safe(node.right)
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name == "max":
+                return any(self.is_safe(arg) for arg in node.args)
+            if name in ("float", "int"):
+                return len(node.args) == 1 and self.is_safe(node.args[0])
+        if isinstance(node, ast.IfExp):
+            return self.is_safe(node.body) and self.is_safe(node.orelse)
+        return False
+
+
+@register
+class ClockDisciplineRule(Rule):
+    code = "SIM002"
+    name = "virtual-clock-discipline"
+    summary = (
+        "handlers never schedule events in the past; only "
+        "ServiceEngine/EventHeap advance the clock; heap keys carry a "
+        "sequence tie-breaker"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        findings.extend(self._check_clock_owners(module))
+        findings.extend(self._check_heap_keys(module))
+        findings.extend(self._check_push_timestamps(module))
+        return findings
+
+    # -------------------------------------------------- clock ownership
+    def _check_clock_owners(self, module: ModuleInfo) -> list[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                owner = node.name in CLOCK_OWNERS
+                for inner in ast.walk(node):
+                    if owner:
+                        break
+                    if isinstance(inner, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                        targets = (
+                            inner.targets
+                            if isinstance(inner, ast.Assign)
+                            else [inner.target]
+                        )
+                        for target in targets:
+                            if (
+                                isinstance(target, ast.Attribute)
+                                and target.attr in ("_now", "now")
+                            ):
+                                findings.append(
+                                    self.finding(
+                                        module,
+                                        inner,
+                                        f"class `{node.name}` advances the "
+                                        "virtual clock (stores to "
+                                        f"`.{target.attr}`) — only "
+                                        f"{'/'.join(CLOCK_OWNERS)} may",
+                                    )
+                                )
+                    if isinstance(inner, ast.Call) and isinstance(
+                        inner.func, ast.Attribute
+                    ):
+                        receiver = dotted_name(inner.func.value)
+                        if (
+                            receiver is not None
+                            and receiver.endswith("._heap")
+                            and inner.func.attr in ("push", "pop", "heappush", "heappop")
+                        ):
+                            findings.append(
+                                self.finding(
+                                    module,
+                                    inner,
+                                    f"class `{node.name}` manipulates an "
+                                    "event heap directly — only "
+                                    f"{'/'.join(CLOCK_OWNERS)} may",
+                                )
+                            )
+        return findings
+
+    # ---------------------------------------------------- heap key shape
+    def _check_heap_keys(self, module: ModuleInfo) -> list[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node) != "heapq.heappush" or len(node.args) < 2:
+                continue
+            key = node.args[1]
+            if not isinstance(key, ast.Tuple):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "heappush key must be a tuple with an explicit "
+                        "sequence tie-breaker",
+                    )
+                )
+                continue
+            if not any(_seq_element(elt) for elt in key.elts):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "heap key lacks a monotone sequence tie-breaker — "
+                        "equal timestamps would compare payloads "
+                        "(nondeterministic or TypeError)",
+                    )
+                )
+        return findings
+
+    # ------------------------------------------------- push-in-the-past
+    def _check_push_timestamps(self, module: ModuleInfo) -> list[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            time_params = {
+                arg.arg
+                for arg in function_params(node)
+                if arg.arg in _TIME_PARAMS
+            }
+            if not time_params:
+                continue
+            findings.extend(self._walk_function(module, node, time_params))
+        return findings
+
+    def _walk_function(
+        self,
+        module: ModuleInfo,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        time_params: set[str],
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        flow = _TimeSafety(time_params)
+
+        def check_expr(expr_root: ast.AST) -> None:
+            for expr in ast.walk(expr_root):
+                ts = self._pushed_timestamp(expr)
+                if ts is not None and not flow.is_safe(ts):
+                    findings.append(
+                        self.finding(
+                            module,
+                            expr,
+                            "event scheduled at a timestamp not provably "
+                            ">= the current virtual time "
+                            f"(`{ast.unparse(ts)}`)",
+                        )
+                    )
+
+        def visit_stmt(stmt: ast.stmt) -> None:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                return  # nested scopes get their own walk
+            flow.observe(stmt)
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    visit_stmt(child)
+                elif isinstance(child, (ast.ExceptHandler,)):
+                    for sub in child.body:
+                        visit_stmt(sub)
+                elif isinstance(child, ast.expr):
+                    check_expr(child)
+
+        for stmt in fn.body:
+            visit_stmt(stmt)
+        return findings
+
+    @staticmethod
+    def _pushed_timestamp(node: ast.AST) -> ast.AST | None:
+        """The timestamp expression of a heap push, if this is one."""
+        if not isinstance(node, ast.Call):
+            return None
+        name = call_name(node)
+        if name == "heapq.heappush" and len(node.args) >= 2:
+            key = node.args[1]
+            if isinstance(key, ast.Tuple) and key.elts:
+                return key.elts[0]
+            return key
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "push"
+            and node.args
+        ):
+            receiver = dotted_name(node.func.value)
+            if receiver is not None and "heap" in receiver.lower():
+                return node.args[0]
+        return None

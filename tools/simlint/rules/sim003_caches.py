@@ -1,0 +1,292 @@
+"""SIM003 — cache-invalidation pairing.
+
+Memoized caches (any instance attribute matching ``*_cache``, including
+ones created lazily via ``self.__dict__.setdefault("..._cache", {})``) must
+be invalidated by every method that mutates the state they were computed
+from.  Concretely, for each class (methods merged over its known bases):
+
+1. *cache attributes* are discovered from stores and lazy-setdefault calls;
+2. the attributes a cache *depends on* are every ``self.<attr>`` read —
+   transitively through ``self``-method calls and properties — inside the
+   methods that populate that cache;
+3. a *mutating method* is one that rebinds / item-assigns / deletes a
+   dependency attribute, or calls a mutator-named method
+   (``write_* / set_* / add_* / update_* / append / clear / pop`` ...) on
+   one;
+4. every mutating method must, directly or through a ``self``-method call,
+   invalidate the cache: rebind it, ``clear()`` / ``pop()`` it, ``del`` it,
+   or ``self.__dict__.pop("<cache>")``.
+
+Constructors (``__init__`` / ``__new__`` / ``__post_init__``) are exempt:
+they run before any cache can be populated.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from tools.simlint.astutil import is_self_attribute
+from tools.simlint.framework import Finding, ModuleInfo, Project, Rule, register
+
+_CACHE_RE = re.compile(r".*_cache$")
+_MUTATOR_RE = re.compile(
+    r"^(write|set|add|remove|delete|update|push|insert|load|retire|rebuild|"
+    r"assign|put|register|reset)(_|$)|^(append|extend|clear|pop|popitem|"
+    r"discard|setdefault|sort|reverse)$"
+)
+_CONSTRUCTORS = {"__init__", "__new__", "__post_init__", "__set_name__"}
+
+
+def _self_dict_string_arg(call: ast.Call, methods: tuple[str, ...]) -> str | None:
+    """The string key of ``self.__dict__.<method>("key", ...)`` calls."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in methods
+        and isinstance(func.value, ast.Attribute)
+        and func.value.attr == "__dict__"
+        and isinstance(func.value.value, ast.Name)
+        and func.value.value.id == "self"
+        and call.args
+        and isinstance(call.args[0], ast.Constant)
+        and isinstance(call.args[0].value, str)
+    ):
+        return call.args[0].value
+    return None
+
+
+class _ClassView:
+    """Merged-method analysis of one class."""
+
+    def __init__(self, project: Project, name: str) -> None:
+        self.project = project
+        self.name = name
+        self.methods, self.properties = project.merged_methods(name)
+
+    # ----------------------------------------------------- cache discovery
+    def cache_attrs(self) -> set[str]:
+        caches: set[str] = set()
+        for fn in self.methods.values():
+            for node in ast.walk(fn):
+                if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign) else [node.target]
+                    )
+                    for target in targets:
+                        attr = is_self_attribute(target)
+                        if attr and _CACHE_RE.match(attr):
+                            caches.add(attr)
+                elif isinstance(node, ast.Call):
+                    key = _self_dict_string_arg(
+                        node, ("setdefault", "get", "pop")
+                    )
+                    if key and _CACHE_RE.match(key):
+                        caches.add(key)
+        return caches
+
+    # ------------------------------------------------------- method scans
+    def _local_cache_aliases(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef, cache: str
+    ) -> set[str]:
+        """Local names bound to ``self.<cache>`` or its lazy setdefault."""
+        aliases: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                value = node.value
+                if is_self_attribute(value) == cache:
+                    aliases.add(target.id)
+                elif (
+                    isinstance(value, ast.Call)
+                    and _self_dict_string_arg(value, ("setdefault", "get")) == cache
+                ):
+                    aliases.add(target.id)
+        return aliases
+
+    def populates(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef, cache: str
+    ) -> bool:
+        """Does this method write entries into the cache?"""
+        aliases = self._local_cache_aliases(fn, cache)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        base = target.value
+                        if is_self_attribute(base) == cache:
+                            return True
+                        if isinstance(base, ast.Name) and base.id in aliases:
+                            return True
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in ("setdefault", "update"):
+                    receiver = node.func.value
+                    if is_self_attribute(receiver) == cache:
+                        return True
+                    if isinstance(receiver, ast.Name) and receiver.id in aliases:
+                        return True
+        return False
+
+    def reads(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        caches: set[str],
+        _seen: set[str] | None = None,
+    ) -> set[str]:
+        """``self.<attr>`` reads, transitively through self-calls/properties."""
+        seen = _seen if _seen is not None else set()
+        deps: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                attr = is_self_attribute(node)
+                if attr is None or attr in caches or attr == "__dict__":
+                    continue
+                if attr in self.methods:
+                    if attr in self.properties and attr not in seen:
+                        seen.add(attr)
+                        deps |= self.reads(self.methods[attr], caches, seen)
+                    continue
+                deps.add(attr)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                # self.method(...) — follow the call.
+                name = is_self_attribute(node.func)
+                if name in self.methods and name not in seen:
+                    seen.add(name)
+                    deps |= self.reads(self.methods[name], caches, seen)
+        return deps
+
+    def mutated_deps(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef, deps: set[str]
+    ) -> set[str]:
+        """Dependency attributes this method mutates."""
+        mutated: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    attr = is_self_attribute(target)
+                    if attr in deps:
+                        mutated.add(attr)
+                    elif isinstance(target, ast.Subscript):
+                        attr = is_self_attribute(target.value)
+                        if attr in deps:
+                            mutated.add(attr)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    attr = is_self_attribute(target)
+                    if attr in deps:
+                        mutated.add(attr)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if _MUTATOR_RE.match(node.func.attr):
+                    receiver = node.func.value
+                    attr = is_self_attribute(receiver)
+                    if attr is None and isinstance(receiver, ast.Subscript):
+                        attr = is_self_attribute(receiver.value)
+                    if attr in deps:
+                        mutated.add(attr)
+        return mutated
+
+    def invalidates(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        cache: str,
+        _seen: set[str] | None = None,
+    ) -> bool:
+        """Does this method (transitively) invalidate the cache?"""
+        seen = _seen if _seen is not None else set()
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if is_self_attribute(target) == cache:
+                        return True
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if is_self_attribute(target) == cache:
+                        return True
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in ("clear", "pop", "popitem"):
+                    if is_self_attribute(node.func.value) == cache:
+                        return True
+                if _self_dict_string_arg(node, ("pop",)) == cache:
+                    return True
+                callee = is_self_attribute(node.func)
+                if callee in self.methods and callee not in seen:
+                    seen.add(callee)
+                    if self.invalidates(self.methods[callee], cache, seen):
+                        return True
+        return False
+
+
+@register
+class CacheInvalidationRule(Rule):
+    code = "SIM003"
+    name = "cache-invalidation-pairing"
+    summary = (
+        "every method mutating state a *_cache was computed from must "
+        "invalidate that cache"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            view = _ClassView(project, node.name)
+            caches = view.cache_attrs()
+            if not caches:
+                continue
+            for cache in sorted(caches):
+                fillers = [
+                    fn
+                    for fn in view.methods.values()
+                    if view.populates(fn, cache)
+                ]
+                if not fillers:
+                    continue
+                deps: set[str] = set()
+                for fn in fillers:
+                    deps |= view.reads(fn, caches)
+                deps -= {attr for attr in deps if attr.isupper()}  # class consts
+                if not deps:
+                    continue
+                for method_name, fn in sorted(view.methods.items()):
+                    if method_name in _CONSTRUCTORS:
+                        continue
+                    mutated = view.mutated_deps(fn, deps)
+                    if not mutated:
+                        continue
+                    if view.invalidates(fn, cache):
+                        continue
+                    # Report at the defining method; identical inherited
+                    # findings from sibling subclasses dedupe in the runner.
+                    findings.append(
+                        Finding(
+                            rule=self.code,
+                            path=_defining_module(project, fn, module).rel,
+                            line=fn.lineno,
+                            col=fn.col_offset,
+                            message=(
+                                f"method `{method_name}` mutates "
+                                f"`{'`, `'.join(sorted(mutated))}` but never "
+                                f"invalidates `{cache}` (computed from it)"
+                            ),
+                        )
+                    )
+        return findings
+
+
+def _defining_module(
+    project: Project, fn: ast.FunctionDef | ast.AsyncFunctionDef, fallback: ModuleInfo
+) -> ModuleInfo:
+    """The module that actually defines a (possibly inherited) method."""
+    for decl in project.classes.values():
+        if fn in decl.methods.values():
+            return decl.module
+    return fallback

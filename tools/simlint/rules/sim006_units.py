@@ -1,0 +1,151 @@
+"""SIM006 — unit-suffix convention for durations.
+
+Every duration-valued field and parameter says what it is measured in, and
+two different units never meet in a ``+`` / ``-``:
+
+* a dataclass field or function parameter annotated ``int`` / ``float``
+  whose name contains ``latency`` / ``duration`` / ``delay`` / ``elapsed``
+  must end in one of the unit suffixes ``_layers`` (raw circuit layers,
+  the engine's native clock), ``_intervals`` (pipeline admission
+  intervals), ``_ns`` / ``_seconds`` (wall-clock conversions for reports)
+  — or start with ``weighted_`` (weighted circuit layers, the paper's
+  fast-layers-count-1/8 convention);
+* an expression ``a + b`` / ``a - b`` whose two operand names carry *two
+  different* recognized unit suffixes is flagged regardless of the field
+  names involved.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.simlint.astutil import (
+    annotation_text,
+    dotted_name,
+    function_params,
+)
+from tools.simlint.framework import Finding, ModuleInfo, Project, Rule, register
+
+_DURATION_KEYWORDS = ("latency", "duration", "delay", "elapsed")
+_UNIT_SUFFIXES = ("_layers", "_intervals", "_ns", "_seconds")
+_UNIT_PREFIXES = ("weighted_",)
+
+
+def _is_numeric_annotation(text: str) -> bool:
+    return "int" in text or "float" in text
+
+
+def _duration_name(name: str) -> bool:
+    return any(keyword in name.lower() for keyword in _DURATION_KEYWORDS)
+
+
+def _has_unit(name: str) -> bool:
+    lowered = name.lower()
+    return lowered.endswith(_UNIT_SUFFIXES) or lowered.startswith(_UNIT_PREFIXES)
+
+
+def _unit_of(name: str) -> str | None:
+    """Unit family of a name: weighted_* and *_layers share the layer time
+    base (their scale factor is applied at explicit conversion points), so
+    the mixing check only separates layers / intervals / ns / seconds."""
+    lowered = name.lower()
+    if lowered.startswith(_UNIT_PREFIXES):
+        return "_layers"
+    for suffix in _UNIT_SUFFIXES:
+        if lowered.endswith(suffix):
+            return suffix
+    return None
+
+
+@register
+class UnitSuffixRule(Rule):
+    code = "SIM006"
+    name = "duration-unit-suffixes"
+    summary = (
+        "duration fields/params carry a unit suffix (_layers/_intervals/"
+        "_ns/_seconds or weighted_*) and units never mix in +/-"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        findings.extend(self._check_fields(module))
+        findings.extend(self._check_params(module))
+        findings.extend(self._check_mixing(module))
+        return findings
+
+    def _check_fields(self, module: ModuleInfo) -> list[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                if not (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                ):
+                    continue
+                name = stmt.target.id
+                if not _duration_name(name) or _has_unit(name):
+                    continue
+                if _is_numeric_annotation(annotation_text(stmt.annotation)):
+                    findings.append(
+                        self.finding(
+                            module,
+                            stmt,
+                            f"field `{node.name}.{name}` is duration-valued "
+                            "but carries no unit suffix "
+                            f"({'/'.join(_UNIT_SUFFIXES)} or weighted_*)",
+                        )
+                    )
+        return findings
+
+    def _check_params(self, module: ModuleInfo) -> list[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for arg in function_params(node):
+                name = arg.arg
+                if not _duration_name(name) or _has_unit(name):
+                    continue
+                if _is_numeric_annotation(annotation_text(arg.annotation)):
+                    findings.append(
+                        self.finding(
+                            module,
+                            arg,
+                            f"parameter `{name}` of `{node.name}()` is "
+                            "duration-valued but carries no unit suffix "
+                            f"({'/'.join(_UNIT_SUFFIXES)} or weighted_*)",
+                        )
+                    )
+        return findings
+
+    def _check_mixing(self, module: ModuleInfo) -> list[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, (ast.Add, ast.Sub))
+            ):
+                continue
+            left = dotted_name(node.left)
+            right = dotted_name(node.right)
+            if left is None or right is None:
+                continue
+            left_unit = _unit_of(left.rsplit(".", 1)[-1])
+            right_unit = _unit_of(right.rsplit(".", 1)[-1])
+            if (
+                left_unit is not None
+                and right_unit is not None
+                and left_unit != right_unit
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"`{left}` ({left_unit.lstrip('_')}) and `{right}` "
+                        f"({right_unit.lstrip('_')}) mix units in "
+                        "arithmetic — convert explicitly first",
+                    )
+                )
+        return findings
