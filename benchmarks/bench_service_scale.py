@@ -1,17 +1,26 @@
 """Million-query open-loop serving in bounded memory (BENCH_service_scale).
 
-The scale proof for the streaming telemetry core: a >= 1,000,000-request
-open-loop Poisson trace is generated lazily (``iter_poisson_trace``), fed
-through a :class:`~repro.engine.StreamingTraceSource` and served with
-``retention="none"`` — no per-request records, no materialized trace, no
-arrival backlog in the event heap.  The run writes
-``BENCH_service_scale.json`` (requests/sec, wall time, peak RSS, telemetry
-interval count) so every subsequent performance PR has a recorded
-trajectory to compare against, and *asserts* that peak traced memory is
-independent of request count (a 5x larger run may not allocate more than a
-small constant factor over the smaller one).
+The scale proof for the serving core, in two measurements:
 
-Run the full benchmark (about two minutes):
+* **Bounded memory** — a >= 1,000,000-request open-loop Poisson trace is
+  generated lazily (``iter_poisson_trace``), fed through a
+  :class:`~repro.engine.StreamingTraceSource` and served with
+  ``retention="none"`` — no per-request records, no materialized trace,
+  no arrival backlog in the event heap; peak traced memory is *asserted*
+  independent of request count.
+* **Workers axis** — the same lazy trace, wrapped in a
+  :class:`~repro.engine.PartitionedTraceSource` over an 8-shard fleet and
+  served at ``workers`` = 1 / 2 / 4 / 8: every worker regenerates only
+  its partition, the merged reports must compare equal across worker
+  counts, and the wall-clock speedup against ``workers=1`` is recorded
+  per worker count.
+
+The run *appends* one entry to the ``"runs"`` trajectory in
+``BENCH_service_scale.json`` (requests/sec, wall time, peak RSS, host CPU
+count, the workers axis) so every subsequent performance PR has a recorded
+trajectory to compare against — entries are never rewritten.
+
+Run the full benchmark (a few minutes):
 
     PYTHONPATH=src python benchmarks/bench_service_scale.py
 
@@ -19,11 +28,19 @@ Environment knobs:
 
 * ``QRAM_SCALE_REQUESTS`` — request count of the headline run
   (default 1,000,000; CI uses a reduced size).
+* ``QRAM_SCALE_PARALLEL_REQUESTS`` — request count of the workers axis
+  (default: headline count capped at 50,000).
 * ``QRAM_SCALE_MAX_RSS_MIB`` — when set (> 0), fail if the process's peak
   RSS after the headline run exceeds this many MiB (the CI memory gate).
+* ``QRAM_SCALE_MIN_RPS`` — when set (> 0), fail if the headline run's
+  requests/sec falls below this bound (the CI throughput-regression
+  gate; set it from the trajectory's recorded floor).
+* ``QRAM_SCALE_MIN_SPEEDUP`` — required 8-worker speedup over 1 worker
+  (default 5.0); *only enforced when the host has >= 8 CPUs* — a
+  single-core host records the honest (flat) numbers and skips the gate.
 
 The pytest entry point (``pytest benchmarks/bench_service_scale.py``) runs
-a reduced version of the same measurement so the harness stays cheap.
+reduced versions of the same measurements so the harness stays cheap.
 """
 
 from __future__ import annotations
@@ -36,7 +53,8 @@ import time
 import tracemalloc
 from pathlib import Path
 
-from repro.engine import StreamingTraceSource
+import repro.engine.parallel
+from repro.engine import PartitionedTraceSource, StreamingTraceSource
 from repro.service import QRAMService
 from repro.workloads import iter_poisson_trace
 
@@ -50,9 +68,23 @@ NUM_TENANTS = 4
 MEAN_INTERARRIVAL = 14.0
 SEED = 5
 
+#: The workers axis runs a wider fleet so there is real work to partition.
+PARALLEL_CAPACITY = 16
+PARALLEL_SHARDS = 8
+WORKER_COUNTS = (1, 2, 4, 8)
+
 REQUESTS = int(os.environ.get("QRAM_SCALE_REQUESTS", "1000000"))
+PARALLEL_REQUESTS = int(
+    os.environ.get("QRAM_SCALE_PARALLEL_REQUESTS", str(min(REQUESTS, 50_000)))
+)
 MAX_RSS_MIB = float(os.environ.get("QRAM_SCALE_MAX_RSS_MIB", "0"))
+MIN_RPS = float(os.environ.get("QRAM_SCALE_MIN_RPS", "0"))
+MIN_SPEEDUP = float(os.environ.get("QRAM_SCALE_MIN_SPEEDUP", "5.0"))
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_service_scale.json"
+
+# Simulation code never reads host wall time; measurement harnesses opt in
+# so ParallelRunInfo.worker_seconds reports real per-worker elapsed times.
+repro.engine.parallel.host_clock = time.perf_counter
 
 
 def _serve(num_requests: int, telemetry_interval: float | None = None):
@@ -104,9 +136,77 @@ def check_bounded_memory(small: int, large: int) -> tuple[int, int]:
     return peak_small, peak_large
 
 
+def _parallel_source(num_requests: int) -> PartitionedTraceSource:
+    """The workers-axis trace: each worker regenerates only its shards."""
+
+    def factory(shards):
+        return iter_poisson_trace(
+            PARALLEL_CAPACITY,
+            num_requests,
+            mean_interarrival=MEAN_INTERARRIVAL,
+            addresses_per_query=1,
+            num_tenants=NUM_TENANTS,
+            num_shards=PARALLEL_SHARDS,
+            seed=SEED,
+            shards=shards,
+        )
+
+    return PartitionedTraceSource(factory)
+
+
+def _serve_parallel(num_requests: int, workers: int):
+    service = QRAMService(
+        PARALLEL_CAPACITY, num_shards=PARALLEL_SHARDS, functional=False
+    )
+    return service.serve_workload(
+        _parallel_source(num_requests), retention="none", workers=workers
+    )
+
+
+def run_workers_axis(
+    num_requests: int, worker_counts=WORKER_COUNTS
+) -> list[dict]:
+    """Serve the same partitioned trace at each worker count.
+
+    Returns one row per worker count (wall seconds, requests/sec, speedup
+    over one worker, per-worker busy seconds) and asserts every merged
+    report equals the one-worker report — the bit-identity contract, at
+    benchmark scale.
+    """
+    rows: list[dict] = []
+    baseline_report = None
+    baseline_seconds = None
+    for workers in worker_counts:
+        start = time.perf_counter()
+        report = _serve_parallel(num_requests, workers)
+        wall_seconds = time.perf_counter() - start
+        info = report.parallel
+        assert info is not None and info.fallback_reason is None
+        assert report.stats.total_queries == num_requests
+        if baseline_report is None:
+            baseline_report, baseline_seconds = report, wall_seconds
+        else:
+            assert report == baseline_report, (
+                f"workers={workers} diverged from workers=1"
+            )
+        rows.append(
+            {
+                "workers": info.workers,
+                "partitions": info.partitions,
+                "wall_seconds": round(wall_seconds, 3),
+                "requests_per_sec": round(num_requests / wall_seconds, 1),
+                "speedup_vs_1_worker": round(baseline_seconds / wall_seconds, 2),
+                "worker_busy_seconds": [
+                    round(s, 3) for s in info.worker_seconds
+                ],
+            }
+        )
+    return rows
+
+
 def run_scale(num_requests: int) -> dict:
     """The headline run plus the bounded-memory assertion; returns the
-    metrics dict written to ``BENCH_service_scale.json``."""
+    metrics dict appended to ``BENCH_service_scale.json``."""
     small = max(2_000, num_requests // 50)
     large = max(5 * small, num_requests // 10)
     peak_small, peak_large = check_bounded_memory(small, large)
@@ -123,6 +223,7 @@ def run_scale(num_requests: int) -> dict:
     rss_raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     per_mib = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
     return {
+        "cpu_count": os.cpu_count(),
         "requests": num_requests,
         "wall_seconds": round(wall_seconds, 3),
         "requests_per_sec": round(num_requests / wall_seconds, 1),
@@ -165,17 +266,78 @@ def test_service_scale_bounded_memory(benchmark):
     )
 
 
+def test_service_scale_workers_axis(benchmark):
+    """Reduced pytest entry: bit-identity along the workers axis."""
+    rows = run_workers_axis(4_000, worker_counts=(1, 2))
+    benchmark(lambda: rows)
+    assert [row["workers"] for row in rows] == [1, 2]
+    assert all(row["partitions"] == PARALLEL_SHARDS for row in rows)
+    if (os.cpu_count() or 1) >= 8:
+        assert rows[-1]["speedup_vs_1_worker"] > 1.0
+    try:
+        from conftest import print_rows
+    except ImportError:  # pragma: no cover - direct invocation
+        return
+    print_rows(
+        "Partitioned parallel serving — PartitionedTraceSource, 8 shards",
+        {
+            f"workers_{row['workers']}_wall_seconds": row["wall_seconds"]
+            for row in rows
+        },
+    )
+
+
+def _load_trajectory() -> list[dict]:
+    """Existing runs (wrapping the pre-trajectory single-object format)."""
+    if not RESULT_PATH.exists():
+        return []
+    data = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
+    if isinstance(data, dict) and isinstance(data.get("runs"), list):
+        return data["runs"]
+    return [data]  # legacy layout: one bare metrics object
+
+
 def main() -> None:
     metrics = run_scale(REQUESTS)
-    RESULT_PATH.write_text(json.dumps(metrics, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {RESULT_PATH}")
+    metrics["workers_axis"] = run_workers_axis(PARALLEL_REQUESTS)
+    runs = _load_trajectory()
+    runs.append(metrics)
+    RESULT_PATH.write_text(
+        json.dumps({"runs": runs}, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {RESULT_PATH} ({len(runs)} run(s) in the trajectory)")
     for key, value in metrics.items():
         print(f"  {key}: {value}")
+    failures = []
     if MAX_RSS_MIB > 0 and metrics["peak_rss_mib"] > MAX_RSS_MIB:
-        sys.exit(
+        failures.append(
             f"peak RSS {metrics['peak_rss_mib']} MiB exceeds the "
             f"QRAM_SCALE_MAX_RSS_MIB bound of {MAX_RSS_MIB} MiB"
         )
+    if MIN_RPS > 0 and metrics["requests_per_sec"] < MIN_RPS:
+        failures.append(
+            f"throughput regressed: {metrics['requests_per_sec']} "
+            f"requests/sec is below the QRAM_SCALE_MIN_RPS floor of "
+            f"{MIN_RPS}"
+        )
+    cpu_count = os.cpu_count() or 1
+    eight = next(
+        (row for row in metrics["workers_axis"] if row["workers"] == 8), None
+    )
+    if cpu_count >= 8 and eight is not None:
+        if eight["speedup_vs_1_worker"] < MIN_SPEEDUP:
+            failures.append(
+                f"8-worker speedup {eight['speedup_vs_1_worker']}x is below "
+                f"the QRAM_SCALE_MIN_SPEEDUP bound of {MIN_SPEEDUP}x "
+                f"(host has {cpu_count} CPUs)"
+            )
+    elif eight is not None:
+        print(
+            f"  (speedup gate skipped: host has {cpu_count} CPU(s); "
+            f"8-worker speedup recorded as {eight['speedup_vs_1_worker']}x)"
+        )
+    if failures:
+        sys.exit("\n".join(failures))
 
 
 if __name__ == "__main__":

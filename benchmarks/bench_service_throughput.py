@@ -25,6 +25,13 @@ Measurements:
   bare + ``distance=3`` encoded fleet, and the mixed fleet under a
   per-request fidelity SLO — comparing predicted mean/min fidelity,
   fidelity-reject counts and the throughput cost of quality;
+* the workers axis: one partitioned Poisson trace served at
+  ``workers`` = 1 / 2 / 4 — the merged report must compare equal at every
+  worker count (the parallel core's bit-identity contract) while each
+  worker regenerates only its own shards' requests;
+* the shared schedule-cache registry: an autoscaled replica added mid-run
+  resolves its executor from the process-wide warm cache (a registry hit,
+  never a fresh derivation), and memory writes fan invalidations out;
 * the retention axis: one 5,000-query streaming trace served under
   ``retention="full"`` vs ``retention="none"`` — identical counts and
   means, sketched percentiles within a few percent, and an
@@ -43,8 +50,15 @@ from repro.bucket_brigade.executor import BBExecutor
 from repro.bucket_brigade.qram import BucketBrigadeQRAM
 from repro.core.executor import FatTreeExecutor
 from repro.core.qram import FatTreeQRAM
-from repro.engine import StreamingTraceSource, TraceSource
+from repro.core.query import QueryRequest
+from repro.engine import (
+    AutoscalerConfig,
+    PartitionedTraceSource,
+    StreamingTraceSource,
+    TraceSource,
+)
 from repro.hardware.parameters import TABLE3_PARAMETERS
+from repro.schedule_cache import default_registry
 from repro.service import QRAMService
 from repro.workloads import iter_poisson_trace, poisson_trace, random_data
 
@@ -412,3 +426,90 @@ def test_service_retention_axis(benchmark):
     # The record-free observation path is the memory win the scale
     # benchmark builds on.
     assert none_peak < full_peak / 4
+
+
+def test_service_workers_axis(benchmark):
+    """The partitioned-parallel serving axis: equal reports, one trace."""
+    capacity = 16
+    num_shards = 4
+    num_queries = 400
+
+    def factory(shards):
+        return iter_poisson_trace(
+            capacity,
+            num_queries,
+            mean_interarrival=6.0,
+            num_tenants=3,
+            num_shards=num_shards,
+            seed=9,
+            shards=shards,
+        )
+
+    results = {}
+    for workers in (1, 2, 4):
+        service = QRAMService(capacity, num_shards=num_shards, functional=False)
+        start = time.perf_counter()
+        report = service.serve_workload(
+            PartitionedTraceSource(factory), workers=workers
+        )
+        results[workers] = (report, time.perf_counter() - start)
+
+    benchmark(lambda: results)
+    baseline = results[1][0]
+    rows = {}
+    for workers, (report, wall) in results.items():
+        assert report == baseline, f"workers={workers} diverged"
+        info = report.parallel
+        assert info is not None and info.fallback_reason is None
+        rows[f"workers={workers}"] = {
+            "wall_seconds": round(wall, 3),
+            "speedup_vs_1": round(results[1][1] / wall, 2),
+            "partitions": info.partitions,
+        }
+    print_rows(
+        "Workers axis — 4 shards, 400-query partitioned Poisson trace",
+        rows,
+    )
+    assert baseline.stats.total_queries == num_queries
+
+
+def test_autoscaled_replica_hits_warm_schedule_cache(benchmark):
+    """A replica added mid-run must resolve from the warm shared cache."""
+    capacity = 8
+    registry = default_registry()
+    registry.clear()
+    service = QRAMService(capacity, num_shards=1, functional=False,
+                          placement="shortest-queue")
+    built = registry.stats()
+    assert built.entries > 0, "fleet build must prewarm the registry"
+
+    requests = [
+        QueryRequest(i, {i % capacity: 1.0}, request_time=0.0)
+        for i in range(12)
+    ]
+    requests.append(QueryRequest(99, {3: 1.0}, request_time=50_000.0))
+    config = AutoscalerConfig(period=100.0, high_watermark=4, low_watermark=0,
+                              min_shards=1, max_shards=3)
+    report = service.serve_workload(TraceSource(requests), autoscaler=config)
+    benchmark(lambda: report)
+    scaled = registry.stats()
+
+    assert any(event.action == "up" for event in report.scale_events)
+    # Every replica holds the same memory image: the scale-up's prewarm
+    # must hit the shared executor, never derive a fresh one.
+    assert scaled.misses == built.misses, (
+        "autoscaled replica missed the warm schedule cache"
+    )
+    assert scaled.hits > built.hits
+    print_rows(
+        "Shared schedule-cache registry under autoscaling",
+        {
+            "entries": scaled.entries,
+            "hits": scaled.hits,
+            "misses": scaled.misses,
+            "hit_rate": round(scaled.hit_rate, 3),
+            "scale_ups": sum(
+                1 for event in report.scale_events if event.action == "up"
+            ),
+        },
+    )

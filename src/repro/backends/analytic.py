@@ -126,6 +126,16 @@ class VirtualBackend(_ModelBackend):
         """Outstanding queries are admitted concurrently (page-multiplexed)."""
         return 0
 
+    def warm_schedule_caches(self) -> None:
+        """Warm every page QRAM's shared executor.
+
+        Pages are BB QRAMs over page-local memory slices; each resolves its
+        executor through the process-wide registry, so replicas of the same
+        Virtual configuration share all page executors.
+        """
+        for page in self.model.page_qrams():
+            page.cached_executor()
+
     def _window_offsets(
         self, batch_size: int
     ) -> tuple[int, float, tuple[float, ...], tuple[float, ...]]:
@@ -199,6 +209,17 @@ class _DistributedBackend(_ModelBackend):
 
     def minimum_feasible_interval(self, num_queries: int = 2) -> int:
         return self._copy_timing()[0]
+
+    def warm_schedule_caches(self) -> None:
+        """Warm the copies' shared executor and the per-copy timing.
+
+        All copies hold the same memory image, so the registry resolves
+        every ``cached_executor`` call to one shared entry — warming is a
+        single derivation no matter how many copies the model replicates.
+        """
+        for copy in self.model.copies:
+            copy.cached_executor()
+        self._copy_timing()
 
     def _window_offsets(
         self, batch_size: int

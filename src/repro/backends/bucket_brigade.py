@@ -74,6 +74,15 @@ class BBBackend(PredictedFidelityMixin):
         """The underlying memoized gate-level executor."""
         return self.qram.cached_executor()
 
+    def warm_schedule_caches(self) -> None:
+        """Resolve the shared executor through the process-wide registry.
+
+        BB schedules are memoized per query slot inside the executor;
+        warming the executor itself is what lets every replica of this
+        memory image share those memos.
+        """
+        self.qram.cached_executor()
+
     # ----------------------------------------------------------------- timing
     def minimum_feasible_interval(self, num_queries: int = 2) -> int:
         """Sequential service: admissions are one full query apart."""

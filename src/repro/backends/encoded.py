@@ -136,6 +136,17 @@ class EncodedBackend(PredictedFidelityMixin):
         self.backend.write_memory(address, value)
         self.invalidate_predictions()
 
+    def warm_schedule_caches(self) -> None:
+        """Warm the bare inner backend's shared schedule caches.
+
+        Encoding rescales timing and fidelity analytically on top of the
+        bare schedule, so the inner backend's registry entry is the whole
+        cache footprint of an encoded replica.
+        """
+        hook = getattr(self.backend, "warm_schedule_caches", None)
+        if hook is not None:
+            hook()
+
     # ----------------------------------------------------------------- timing
     def minimum_feasible_interval(self, num_queries: int = 2) -> int:
         return self.code.syndrome_depth * self.backend.minimum_feasible_interval(

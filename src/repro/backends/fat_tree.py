@@ -73,6 +73,19 @@ class FatTreeBackend(PredictedFidelityMixin):
         """The underlying memoized gate-level executor."""
         return self.qram.cached_executor()
 
+    def warm_schedule_caches(self) -> None:
+        """Eagerly derive the shared schedule artefacts of this configuration.
+
+        Resolves the executor through the process-wide
+        :class:`~repro.schedule_cache.ScheduleCacheRegistry` and pre-derives
+        the minimum feasible interval for every window occupancy this
+        backend can admit, so later replicas (autoscaled or forked) start
+        from a warm cache.
+        """
+        executor = self.qram.cached_executor()
+        for occupancy in range(1, max(2, self.query_parallelism) + 1):
+            executor.minimum_feasible_interval(occupancy)
+
     # ----------------------------------------------------------------- timing
     def minimum_feasible_interval(self, num_queries: int = 2) -> int:
         return self.qram.cached_executor().minimum_feasible_interval(num_queries)

@@ -18,6 +18,7 @@ from repro.bucket_brigade.schedule import (
     bb_weighted_query_latency,
 )
 from repro.bucket_brigade.tree import BBTree, validate_capacity
+from repro.schedule_cache import default_registry, shared_executor
 
 # Physical qubits per quantum router in the superconducting implementation
 # (input + router + two output cavities, transmon ancilla and coupler
@@ -61,14 +62,18 @@ class BucketBrigadeQRAM:
     def write_memory(self, address: int, value: int) -> None:
         """Update one classical memory cell (invalidates the cached executor)."""
         self._data[address] = int(value) & 1
-        self._executor = None
+        if self._executor is not None:
+            self._executor = None
+            default_registry().note_invalidation()
 
     def load_memory(self, data: Sequence[int]) -> None:
         """Replace the whole classical memory."""
         if len(data) != self._capacity:
             raise ValueError("data length must equal capacity")
         self._data = [int(x) & 1 for x in data]
-        self._executor = None
+        if self._executor is not None:
+            self._executor = None
+            default_registry().note_invalidation()
 
     # --------------------------------------------------------------- resources
     @property
@@ -148,7 +153,12 @@ class BucketBrigadeQRAM:
         :meth:`repro.core.qram.FatTreeQRAM.cached_executor`.
         """
         if self._executor is None:
-            self._executor = BBExecutor(self._capacity, self._data)
+            self._executor = shared_executor(
+                "BB",
+                self._capacity,
+                self._data,
+                lambda: BBExecutor(self._capacity, self._data),
+            )
         return self._executor
 
     def executor(self) -> BBExecutor:

@@ -22,6 +22,7 @@ from repro.core.pipeline import (
     fat_tree_single_query_latency,
 )
 from repro.core.query import QueryRequest
+from repro.schedule_cache import default_registry, shared_executor
 
 
 class FatTreeQRAM:
@@ -59,14 +60,18 @@ class FatTreeQRAM:
     def write_memory(self, address: int, value: int) -> None:
         """Update one classical memory cell."""
         self._data[address] = int(value) & 1
-        self._executor = None
+        if self._executor is not None:
+            self._executor = None
+            default_registry().note_invalidation()
 
     def load_memory(self, data: Sequence[int]) -> None:
         """Replace the whole classical memory."""
         if len(data) != self._capacity:
             raise ValueError("data length must equal capacity")
         self._data = [int(x) & 1 for x in data]
-        self._executor = None
+        if self._executor is not None:
+            self._executor = None
+            default_registry().note_invalidation()
 
     # --------------------------------------------------------------- resources
     @property
@@ -150,9 +155,20 @@ class FatTreeQRAM:
 
         The executor (and with it every schedule artefact it has memoized) is
         reused across queries and invalidated by classical memory writes.
+        Executors are shared process-wide through the
+        :class:`~repro.schedule_cache.ScheduleCacheRegistry`: every
+        replica holding the same memory image — including autoscaled
+        replicas and forked serving workers — resolves to one executor, so
+        schedules and lowered gate sequences are derived once per image
+        instead of once per replica.
         """
         if self._executor is None:
-            self._executor = FatTreeExecutor(self._capacity, self._data)
+            self._executor = shared_executor(
+                self.name,
+                self._capacity,
+                self._data,
+                lambda: FatTreeExecutor(self._capacity, self._data),
+            )
         return self._executor
 
     def executor(self) -> FatTreeExecutor:

@@ -10,6 +10,12 @@
 * :mod:`repro.engine.core` — :class:`ServiceEngine` (SLO-aware admission,
   backpressure, elastic fleets, record retention modes and periodic
   telemetry) and the :class:`ServiceReport` it returns.
+* :mod:`repro.engine.partition` / :mod:`repro.engine.parallel` —
+  partitioned parallel serving: ``ServiceEngine(workers=N)`` shards the
+  fleet across forked worker processes and merges the events back
+  deterministically (bit-identical reports across worker counts);
+  :class:`PartitionedTraceSource` lets each worker regenerate just its
+  partition of a lazy trace.
 
 :meth:`repro.service.QRAMService.serve` is a thin wrapper over this engine;
 richer scenarios go through :meth:`~repro.service.QRAMService.serve_workload`.
@@ -18,6 +24,7 @@ richer scenarios go through :meth:`~repro.service.QRAMService.serve_workload`.
 from repro.engine.core import (
     RETENTIONS,
     SANITIZE_ENV,
+    WORKERS_ENV,
     AutoscalerConfig,
     ServiceEngine,
     ServiceReport,
@@ -32,6 +39,13 @@ from repro.engine.events import (
     TelemetryTick,
     WindowDrain,
     WindowStart,
+    merge_sorted_records,
+)
+from repro.engine.partition import (
+    ParallelRunInfo,
+    PartitionedTraceSource,
+    partition_shards,
+    partition_unsupported_reason,
 )
 from repro.engine.workload import (
     ClosedLoopClient,
@@ -61,4 +75,10 @@ __all__ = [
     "TelemetryTick",
     "SanitizerViolation",
     "SANITIZE_ENV",
+    "WORKERS_ENV",
+    "ParallelRunInfo",
+    "PartitionedTraceSource",
+    "partition_shards",
+    "partition_unsupported_reason",
+    "merge_sorted_records",
 ]

@@ -70,6 +70,7 @@ from repro.engine.events import (
     WindowDrain,
     WindowStart,
 )
+from repro.engine.partition import ParallelRunInfo, partition_unsupported_reason
 from repro.engine.workload import WorkloadSource
 from repro.fidelity.distillation import distilled_infidelity
 from repro.metrics.service_stats import (
@@ -85,12 +86,20 @@ from repro.metrics.service_stats import (
 )
 from repro.metrics.sinks import ListSink, NullSink, RecordSink, SamplingSink
 from repro.metrics.streaming import IntervalStats, StreamingServiceAggregator
+from repro.schedule_cache import default_registry
 
 #: Retention modes for the engine's per-request records.
 RETENTIONS = ("full", "sampled", "none")
 
 #: Environment switch for sanitizer mode (CI runs the whole suite with it).
 SANITIZE_ENV = "REPRO_SANITIZE"
+
+#: Environment default for partitioned parallel serving.  Applied only to
+#: runs whose parallel output is provably identical to the single-process
+#: oracle (full retention, no telemetry interval, no external sink, and a
+#: partitionable fleet/source); everything else falls back silently.  An
+#: explicit ``ServiceEngine(workers=...)`` always wins over the variable.
+WORKERS_ENV = "REPRO_WORKERS"
 
 
 def _env_sanitize() -> bool:
@@ -101,6 +110,18 @@ def _env_sanitize() -> bool:
         "yes",
         "on",
     )
+
+
+def _env_workers() -> int | None:
+    """Default worker count from the ``REPRO_WORKERS`` variable."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 1 else None
 
 
 def _distilled(fidelity: float, copies: int) -> float:
@@ -207,6 +228,11 @@ class ServiceReport:
             :class:`~repro.engine.events.TelemetryTick` (empty unless the
             engine was given a ``telemetry_interval``).
         retention: the retention mode the run used.
+        parallel: how the run was parallelized (or why it was not) when
+            partitioned serving was requested; ``None`` on a plain
+            single-process run.  Excluded from equality — the whole point
+            of the parallel path is that reports compare equal across
+            worker counts.
     """
 
     served: list[ServedQuery]
@@ -217,6 +243,9 @@ class ServiceReport:
     scale_events: list[ScaleEvent] = field(default_factory=list)
     telemetry: list[IntervalStats] = field(default_factory=list)
     retention: str = "full"
+    parallel: ParallelRunInfo | None = field(
+        default=None, repr=False, compare=False
+    )
     _result_index: dict[int, ServedQuery] | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -275,6 +304,19 @@ class ServiceEngine:
             regardless of retention — e.g. a
             :class:`~repro.metrics.sinks.JsonlSink` for durable full
             telemetry next to a bounded-memory run.
+        workers: partitioned parallel serving.  ``N >= 1`` partitions the
+            fleet per shard, serves the partitions in up to ``N`` forked
+            worker processes and merges the events back deterministically
+            — the report is bit-identical to ``workers=1``, and on the
+            configurations :mod:`repro.engine.partition` can prove
+            independent, identical to the single-process oracle.
+            Unpartitionable runs (replicated placement, autoscaling,
+            closed-loop sources, shared-RNG policies, external sinks)
+            fall back to the oracle with the reason recorded on
+            ``report.parallel``.  ``0`` forces the single-process oracle;
+            ``None`` (default) reads the ``REPRO_WORKERS`` environment
+            variable, which only ever parallelizes provably
+            oracle-identical configurations.
         sanitize: runtime invariant checking.  When True every run asserts
             clock monotonicity, nondecreasing heap-key order, that windows
             only start on idle shards, and the conservation invariant
@@ -307,9 +349,12 @@ class ServiceEngine:
         telemetry_interval: float | None = None,
         sink: RecordSink | None = None,
         sanitize: bool | None = None,
+        workers: int | None = None,
     ) -> None:
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be >= 0")
         if max_distillation_copies < 1:
             raise ValueError("max_distillation_copies must be >= 1")
         if retention not in RETENTIONS:
@@ -344,6 +389,12 @@ class ServiceEngine:
         self.telemetry_interval = telemetry_interval
         self.sink = sink
         self.sanitize = _env_sanitize() if sanitize is None else bool(sanitize)
+        self.workers = workers
+        # Child engines in parallel workers see a single shard's sparse id
+        # stream, which would blow the contiguous-prefix watermark of
+        # _SeenIds into a set; the parent validates the full dense stream
+        # instead and disables per-child dedup.
+        self._dedupe = True
 
     # ------------------------------------------------------------------ run
     def _make_sink(self, stream: int) -> RecordSink:
@@ -394,8 +445,16 @@ class ServiceEngine:
         # TelemetryTick) use to decide whether to reschedule without
         # keeping each other alive forever.
         self._traffic_events = 0
-        # Telemetry interval accumulators.
+        # Telemetry interval accumulators.  The raw tuples mirror the
+        # emitted IntervalStats counters (start, end, arrivals, served,
+        # rejected, shed, windows, depth_total, depth_max, fidelity_total,
+        # fidelity_count): the parallel merge recombines partitions'
+        # intervals from these totals, which plain IntervalStats cannot
+        # provide (mean_fidelity loses its count).
         self._telemetry: list[IntervalStats] = []
+        self._telemetry_raw: list[
+            tuple[float, float, int, int, int, int, int, int, int, float, int]
+        ] = []
         self._tick_start = 0.0
         self._tick_arrivals = 0
         self._tick_served = 0
@@ -409,10 +468,54 @@ class ServiceEngine:
     def run(self, source: WorkloadSource, clops: float = 1.0e6) -> ServiceReport:
         """Serve one workload to completion and report what happened.
 
+        With ``workers`` set (or ``REPRO_WORKERS`` on a provably
+        oracle-identical configuration) the run is dispatched to the
+        partitioned parallel path of :mod:`repro.engine.parallel`; any
+        configuration that cannot be partitioned exactly falls back to
+        this single-process oracle with the reason recorded on the
+        report's ``parallel`` field.
+
         Args:
             source: the traffic (open-loop trace — materialized or
                 streaming — or closed-loop clients).
             clops: hardware clock used for the queries-per-second numbers.
+        """
+        requested = self.workers
+        if requested is None:
+            env = _env_workers()
+            if (
+                env is not None
+                and self.retention == "full"
+                and self.telemetry_interval is None
+                and self.sink is None
+            ):
+                requested = env
+        parallel_info: ParallelRunInfo | None = None
+        if requested is not None and requested >= 1:
+            reason = partition_unsupported_reason(self, source)
+            if reason is None:
+                # Imported lazily: the parallel module builds child
+                # ServiceEngines, so the import must not be circular at
+                # module load.
+                from repro.engine.parallel import run_partitioned
+
+                return run_partitioned(self, source, requested, clops)
+            parallel_info = ParallelRunInfo(
+                workers=0,
+                partitions=0,
+                fallback_reason=reason,
+                worker_seconds=(),
+            )
+        self._run_events(source)
+        return self._finalize(clops, parallel_info)
+
+    def _run_events(self, source: WorkloadSource) -> None:
+        """Drain one workload's event heap to empty (the oracle loop).
+
+        Resets all per-run state, runs every event, flushes trailing
+        telemetry and performs the end-of-run sanitizer checks — but does
+        not build the report: parallel workers run exactly this on their
+        partition and ship the raw state back for the deterministic merge.
         """
         self._reset(source)
         source.start(self)
@@ -471,6 +574,18 @@ class ServiceEngine:
                     f"run ended with {queued} request(s) still queued"
                 )
             self._check_conservation(self._now)
+
+    def _finalize(
+        self, clops: float, parallel_info: ParallelRunInfo | None = None
+    ) -> ServiceReport:
+        """Build the report from the drained engine state.
+
+        Record lists are put in canonical order — served by
+        ``(finish_layer, query_id)``, windows by ``(admit_layer, shard)``,
+        rejections by ``(time, query_id)`` — the same order the parallel
+        merge reconstructs, so a partitioned report can be compared to the
+        oracle field by field.
+        """
         served_count = self._aggregator.served_count
         if not served_count:
             offered = self._aggregator.rejected_count
@@ -484,9 +599,11 @@ class ServiceEngine:
         served = list(self._served_sink.records) if self.retention != "none" else []
         served.sort(key=lambda s: (s.finish_layer, s.query_id))
         windows = list(self._window_sink.records) if self.retention != "none" else []
+        windows.sort(key=lambda w: (w.admit_layer, w.shard))
         rejected = (
             list(self._rejected_sink.records) if self.retention != "none" else []
         )
+        rejected.sort(key=lambda r: (r.time, r.query_id))
         scale_events = (
             list(self._scale_sink.records) if self.retention != "none" else []
         )
@@ -511,6 +628,7 @@ class ServiceEngine:
             scale_events=scale_events,
             telemetry=self._telemetry,
             retention=self.retention,
+            parallel=parallel_info,
         )
 
     # ----------------------------------------------- source-facing scheduling
@@ -574,7 +692,7 @@ class ServiceEngine:
     # ------------------------------------------------------------- handlers
     def _on_arrival(self, now: float, request: QueryRequest) -> None:
         self._tick_arrivals += 1
-        if self._seen_ids.add(request.query_id):
+        if self._dedupe and self._seen_ids.add(request.query_id):
             raise ValueError(
                 f"duplicate query_id {request.query_id} in trace; "
                 "query ids key the per-request results and must be unique"
@@ -919,6 +1037,21 @@ class ServiceEngine:
         span = end - self._tick_start
         active = self._active_shards()
         depths = [len(self._queues[shard]) for shard in active]
+        self._telemetry_raw.append(
+            (
+                self._tick_start,
+                end,
+                self._tick_arrivals,
+                self._tick_served,
+                self._tick_rejected,
+                self._tick_shed,
+                self._tick_windows,
+                sum(depths),
+                max(depths, default=0),
+                self._tick_fidelity_total,
+                self._tick_fidelity_count,
+            )
+        )
         self._telemetry.append(
             IntervalStats(
                 start_layer=self._tick_start,
@@ -1008,6 +1141,11 @@ class ServiceEngine:
                 if requested is None
                 else max(1, min(requested, backend.query_parallelism))
             )
+            # A replica of an existing memory image resolves to the warm
+            # shared entry in the process-wide schedule-cache registry, so
+            # scale-up never re-derives schedules the fleet already paid
+            # for.
+            default_registry().prewarm([backend])
             shard = len(self._backends)
             self._backends.append(backend)
             self._window_sizes.append(window_size)

@@ -30,8 +30,9 @@ sequence number), so every run is exactly reproducible.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import ClassVar, Union
+from typing import Any, ClassVar, Union
 
 from repro.core.query import QueryRequest
 
@@ -94,6 +95,44 @@ class SanitizerViolation(AssertionError):
     ``REPRO_SANITIZE=1``): clock monotonicity, heap-key ordering, window
     admission on a busy shard, or the request-conservation invariant.
     """
+
+
+def merge_sorted_records(
+    streams: Sequence[Sequence[Any]],
+    key: Callable[[Any], Any],
+    *,
+    sanitize: bool = False,
+    description: str = "record",
+) -> list[Any]:
+    """Deterministic k-way merge of per-partition record streams.
+
+    Parallel serving reassembles each shard's records into the global
+    order the single-process oracle would have produced; the merge is the
+    list analogue of the :class:`EventHeap` pop order, keyed the same way
+    (``heapq.merge`` is stable, so equal keys resolve in stream — i.e.
+    shard — order).  In sanitizer mode every input stream is first checked
+    to be nondecreasing under ``key``: a worker whose records come back
+    out of order would silently corrupt the merged timeline, which is
+    exactly the class of bug the sanitizer exists to catch at the
+    worker boundary.
+
+    Raises:
+        SanitizerViolation: when ``sanitize`` and a stream's keys are not
+            nondecreasing.
+    """
+    if sanitize:
+        for index, stream in enumerate(streams):
+            last: Any = None
+            for record in stream:
+                current = key(record)
+                if last is not None and current < last:
+                    raise SanitizerViolation(
+                        f"{description} stream {index} is not nondecreasing "
+                        f"across the worker boundary: key {current!r} after "
+                        f"{last!r}"
+                    )
+                last = current
+    return list(heapq.merge(*streams, key=key))
 
 
 class EventHeap:

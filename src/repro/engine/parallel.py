@@ -1,0 +1,465 @@
+"""Partitioned parallel serving: N workers, one deterministic timeline.
+
+An interleaved fleet pins every request to the one shard owning its
+addresses, and shards never interact during a run — each has its own
+queue, its own backend, its own windows.  The discrete-event simulation
+therefore factors exactly: running one child
+:class:`~repro.engine.core.ServiceEngine` per shard over just that shard's
+arrivals produces, shard by shard, the identical events the global heap
+would have interleaved.  This module exploits that factorization:
+
+1. **Partition** — the workload is split per shard: a materialized
+   :class:`~repro.engine.workload.TraceSource` is bucketed (and validated)
+   up front by :func:`~repro.engine.partition.split_trace`; a
+   :class:`~repro.engine.partition.PartitionedTraceSource` regenerates
+   each shard's requests inside the worker that serves it, so the parent
+   never materializes the trace.
+2. **Serve** — partitions run in up to N ``fork``-start worker processes
+   (shards round-robin over workers).  Fork means nothing is pickled on
+   the way in: workers inherit the fleet — including the prewarmed
+   process-wide schedule-cache registry — copy-on-write.  The partition
+   granularity is *always* one engine per shard, whatever the worker
+   count, so the merged output cannot depend on how many workers ran.
+3. **Merge** — per-shard outcomes come back in shard order and are merged
+   deterministically under the same keys the oracle's
+   ``(time, PRIORITY, sequence)`` heap discipline induces on records:
+   served by ``(finish_layer, query_id)``, windows by
+   ``(admit_layer, shard)``, rejections by ``(time, query_id)``.  Under
+   sanitizer mode the merge additionally checks that every partition's
+   record streams are nondecreasing across the worker boundary and that
+   per-partition conservation (``offered == served + rejected``) sums to
+   the global invariant.
+
+Determinism contract: ``workers=N`` is bit-identical to ``workers=1`` for
+every partitionable configuration, and identical to the single-process
+oracle (``workers=0``) under full retention with no telemetry interval —
+streaming-retention runs additionally replace the order-sensitive P²
+latency sketches with the deterministic weighted merge of
+:func:`repro.metrics.streaming.merge_service_aggregators`, and periodic
+telemetry intervals are recombined per tick from raw totals (same grid,
+worker-count invariant, not byte-equal to the oracle's global snapshot).
+
+Worker errors propagate: the lowest-shard failure is re-raised in the
+parent with its original type and message, which keeps failures
+deterministic across worker counts too.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Callable
+from dataclasses import dataclass
+from itertools import chain
+from multiprocessing.connection import Connection
+from typing import TYPE_CHECKING, Any
+
+from repro.core.query import QueryRequest
+from repro.engine.events import SanitizerViolation, merge_sorted_records
+from repro.engine.partition import (
+    ParallelRunInfo,
+    PartitionedTraceSource,
+    split_trace,
+)
+from repro.engine.workload import StreamingTraceSource, TraceSource, WorkloadSource
+from repro.metrics.service_stats import (
+    RejectedQuery,
+    ServedQuery,
+    WindowRecord,
+    summarize_service,
+)
+from repro.metrics.streaming import (
+    IntervalStats,
+    StreamingServiceAggregator,
+    merge_service_aggregators,
+)
+
+if TYPE_CHECKING:
+    from repro.engine.core import ServiceEngine, ServiceReport
+
+__all__ = ["host_clock", "run_partitioned"]
+
+#: Host-side monotone clock used to time worker processes, or ``None``.
+#: Simulation code never reads host wall time (the determinism discipline
+#: simlint SIM001 enforces tree-wide), so per-worker timings are strictly
+#: opt-in: a measurement harness installs a clock explicitly —
+#: ``repro.engine.parallel.host_clock = time.perf_counter`` — and
+#: ``ParallelRunInfo.worker_seconds`` reports zeros otherwise.  Forked
+#: workers inherit the installed clock copy-on-write, so per-worker
+#: elapsed times are measured inside each worker.
+host_clock: Callable[[], float] | None = None
+
+#: One interval's raw telemetry totals (see ``ServiceEngine._telemetry_raw``).
+_RawInterval = tuple[float, float, int, int, int, int, int, int, int, float, int]
+
+
+@dataclass
+class _ShardOutcome:
+    """Everything one shard's child engine observed, shipped to the parent."""
+
+    shard: int
+    offered: int
+    served: list[ServedQuery]
+    windows: list[WindowRecord]
+    rejected: list[RejectedQuery]
+    outputs: dict[int, dict[tuple[int, int], complex]]
+    max_depth: int
+    aggregator: StreamingServiceAggregator
+    telemetry_raw: list[_RawInterval]
+
+
+def _run_shard(
+    engine: ServiceEngine,
+    shard: int,
+    bucket: list[QueryRequest] | None,
+    partitioned: PartitionedTraceSource | None,
+) -> _ShardOutcome | None:
+    """Serve one shard's partition on a child engine; ``None`` when empty.
+
+    The child drives the *full* fleet object (inherited copy-on-write
+    under fork, shared in-process otherwise): only its single-shard source
+    ever routes work to it, so every record naturally carries the global
+    shard id and no remapping is needed anywhere.  Duplicate-id detection
+    is disabled in the child — a single shard sees a sparse subsequence of
+    the global id stream, which the parent (or the partitioned factory's
+    strictly-increasing-id contract) already validates densely.
+    """
+    source: WorkloadSource
+    if partitioned is not None:
+        stream = partitioned.shard_requests((shard,))
+        first = next(stream, None)
+        if first is None:
+            return None
+        source = StreamingTraceSource(chain((first,), stream))
+    else:
+        assert bucket is not None
+        source = TraceSource(bucket)
+    from repro.engine.core import ServiceEngine as Engine
+
+    child = Engine(
+        engine.fleet,
+        max_queue_depth=engine.max_queue_depth,
+        shed_expired=engine.shed_expired,
+        autoscaler=None,
+        max_distillation_copies=engine.max_distillation_copies,
+        retention=engine.retention,
+        sample_size=engine.sample_size,
+        # Disjoint per-shard reservoir seeds (each engine uses 4 streams),
+        # fixed by shard — never by worker — so sampled retention is
+        # worker-count invariant too.
+        sample_seed=engine.sample_seed + 4 * shard,
+        telemetry_interval=engine.telemetry_interval,
+        sink=None,
+        sanitize=engine.sanitize,
+        workers=0,
+    )
+    child._dedupe = False
+    child._run_events(source)
+    retained = engine.retention != "none"
+    return _ShardOutcome(
+        shard=shard,
+        offered=child._offered,
+        served=list(child._served_sink.records) if retained else [],
+        windows=list(child._window_sink.records) if retained else [],
+        rejected=list(child._rejected_sink.records) if retained else [],
+        outputs=dict(child._outputs),
+        max_depth=child._max_depth.get(shard, 0),
+        aggregator=child._aggregator,
+        telemetry_raw=list(child._telemetry_raw),
+    )
+
+
+def _worker_main(
+    conn: Connection,
+    engine: ServiceEngine,
+    shards: list[int],
+    buckets: list[list[QueryRequest]] | None,
+    partitioned: PartitionedTraceSource | None,
+) -> None:
+    """Forked worker body: serve a group of shards, ship the outcomes back."""
+    current = shards[0]
+    clock = host_clock
+    try:
+        started = clock() if clock is not None else 0.0
+        outcomes: list[_ShardOutcome] = []
+        for shard in shards:
+            current = shard
+            outcome = _run_shard(
+                engine,
+                shard,
+                buckets[shard] if buckets is not None else None,
+                partitioned,
+            )
+            if outcome is not None:
+                outcomes.append(outcome)
+        elapsed = clock() - started if clock is not None else 0.0
+        conn.send(("ok", outcomes, elapsed))
+    except BaseException as exc:
+        try:
+            conn.send(("error", current, exc))
+        except Exception:
+            # The exception itself would not pickle; ship a summary that
+            # still points at the failing shard.
+            conn.send(
+                ("error", current, RuntimeError(f"{type(exc).__name__}: {exc}"))
+            )
+    finally:
+        conn.close()
+
+
+def _run_forked(
+    engine: ServiceEngine,
+    groups: list[list[int]],
+    buckets: list[list[QueryRequest]] | None,
+    partitioned: PartitionedTraceSource | None,
+) -> tuple[list[_ShardOutcome], tuple[float, ...]]:
+    """Run shard groups in forked workers; collect outcomes and timings.
+
+    The parent receives each worker's payload *before* joining it — a
+    worker blocked sending a large outcome through the pipe would
+    otherwise deadlock against a parent blocked in ``join``.
+    """
+    ctx = multiprocessing.get_context("fork")
+    channels = []
+    for group in groups:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, engine, group, buckets, partitioned),
+        )
+        process.start()
+        child_conn.close()
+        channels.append((parent_conn, process, group))
+    outcomes: list[_ShardOutcome] = []
+    seconds: list[float] = []
+    errors: list[tuple[int, BaseException]] = []
+    for parent_conn, process, group in channels:
+        try:
+            payload: tuple[Any, ...] = parent_conn.recv()
+        except EOFError:
+            payload = ("died",)
+        finally:
+            parent_conn.close()
+        process.join()
+        if payload[0] == "ok":
+            outcomes.extend(payload[1])
+            seconds.append(payload[2])
+        elif payload[0] == "error":
+            errors.append((payload[1], payload[2]))
+        else:
+            errors.append(
+                (
+                    min(group),
+                    RuntimeError(
+                        f"parallel worker serving shards {group} died "
+                        "without reporting an outcome"
+                    ),
+                )
+            )
+    if errors:
+        # The lowest-shard error is the one the oracle would have hit
+        # first (shards within a worker run in ascending order), so the
+        # raised failure is deterministic across worker counts.
+        errors.sort(key=lambda pair: pair[0])
+        raise errors[0][1]
+    return outcomes, tuple(seconds)
+
+
+def _merge_telemetry(outcomes: list[_ShardOutcome]) -> list[IntervalStats]:
+    """Recombine per-shard telemetry intervals on the shared tick grid.
+
+    Every child flushes on the same ``i * interval`` grid (plus one final
+    partial interval), so intervals group exactly by ``start_layer``;
+    counters sum in shard order, rates and the fidelity mean are recomputed
+    from the raw totals.  Queue depths are per-shard snapshots: the total
+    sums over shards, the max is the deepest single shard — worker-count
+    invariant, though not byte-equal to the oracle's instantaneous global
+    snapshot (the children's clocks end at different times).
+    """
+    groups: dict[float, list[_RawInterval]] = {}
+    for outcome in outcomes:
+        for raw in outcome.telemetry_raw:
+            groups.setdefault(raw[0], []).append(raw)
+    intervals: list[IntervalStats] = []
+    for start in sorted(groups):
+        rows = groups[start]
+        end = max(row[1] for row in rows)
+        span = end - start
+        served = sum(row[3] for row in rows)
+        rejected = sum(row[4] for row in rows)
+        fidelity_total = sum(row[9] for row in rows)
+        fidelity_count = sum(row[10] for row in rows)
+        intervals.append(
+            IntervalStats(
+                start_layer=start,
+                end_layer=end,
+                arrivals=sum(row[2] for row in rows),
+                served=served,
+                rejected=rejected,
+                shed=sum(row[5] for row in rows),
+                windows=sum(row[6] for row in rows),
+                throughput_queries_per_layer=(
+                    served / span if span > 0 else 0.0
+                ),
+                queue_depth_total=sum(row[7] for row in rows),
+                queue_depth_max=max(row[8] for row in rows),
+                rejection_rate=(
+                    rejected / (served + rejected) if (served + rejected) else 0.0
+                ),
+                mean_fidelity=(
+                    fidelity_total / fidelity_count if fidelity_count else None
+                ),
+            )
+        )
+    return intervals
+
+
+def run_partitioned(
+    engine: ServiceEngine,
+    source: WorkloadSource,
+    workers: int,
+    clops: float = 1.0e6,
+) -> ServiceReport:
+    """Serve one partitionable workload across worker processes.
+
+    Only called by :meth:`ServiceEngine.run` after
+    :func:`~repro.engine.partition.partition_unsupported_reason` returned
+    ``None``; see the module docstring for the determinism contract.
+    """
+    from repro.engine.core import ServiceReport as Report
+
+    fleet = engine.fleet
+    num_shards = len(fleet.shards)
+    partitioned: PartitionedTraceSource | None
+    buckets: list[list[QueryRequest]] | None
+    if isinstance(source, PartitionedTraceSource):
+        partitioned = source
+        buckets = None
+        jobs = list(range(num_shards))
+    else:
+        assert isinstance(source, TraceSource)
+        partitioned = None
+        buckets = split_trace(source.requests, fleet.shard_map)
+        jobs = [shard for shard in range(num_shards) if buckets[shard]]
+
+    worker_count = max(1, min(int(workers), max(1, len(jobs))))
+    if worker_count > 1 and "fork" not in multiprocessing.get_all_start_methods():
+        # No fork on this platform: degrade gracefully to the in-process
+        # partitioned path (same partitions, same merge, same report).
+        worker_count = 1
+
+    if worker_count == 1:
+        clock = host_clock
+        started = clock() if clock is not None else 0.0
+        maybe = [
+            _run_shard(
+                engine,
+                shard,
+                buckets[shard] if buckets is not None else None,
+                partitioned,
+            )
+            for shard in jobs
+        ]
+        outcomes = [outcome for outcome in maybe if outcome is not None]
+        worker_seconds = (clock() - started if clock is not None else 0.0,)
+    else:
+        groups = [jobs[worker::worker_count] for worker in range(worker_count)]
+        outcomes, worker_seconds = _run_forked(engine, groups, buckets, partitioned)
+
+    outcomes.sort(key=lambda outcome: outcome.shard)
+    offered_total = sum(outcome.offered for outcome in outcomes)
+    served_total = sum(outcome.aggregator.served_count for outcome in outcomes)
+    rejected_total = sum(outcome.aggregator.rejected_count for outcome in outcomes)
+    if engine.sanitize:
+        for outcome in outcomes:
+            part_served = outcome.aggregator.served_count
+            part_rejected = outcome.aggregator.rejected_count
+            if outcome.offered != part_served + part_rejected:
+                raise SanitizerViolation(
+                    f"partition conservation broken on shard {outcome.shard}: "
+                    f"offered={outcome.offered} != served={part_served} + "
+                    f"rejected={part_rejected} (queues drain by end of run)"
+                )
+        if offered_total != served_total + rejected_total:
+            raise SanitizerViolation(
+                "global conservation broken across partitions: "
+                f"offered={offered_total} != served={served_total} + "
+                f"rejected={rejected_total}"
+            )
+    if not served_total:
+        if rejected_total:
+            raise ValueError(
+                f"no queries were served: all {rejected_total} offered requests "
+                "were rejected or shed (loosen max_queue_depth / deadlines)"
+            )
+        raise ValueError("the workload source produced no requests")
+
+    retained = engine.retention != "none"
+    served: list[ServedQuery] = []
+    windows: list[WindowRecord] = []
+    rejected: list[RejectedQuery] = []
+    if retained:
+        served = sorted(
+            (record for outcome in outcomes for record in outcome.served),
+            key=lambda record: (record.finish_layer, record.query_id),
+        )
+        # Under full retention each partition's window / rejection stream
+        # is in event order, so the k-way merge both reassembles the
+        # canonical order and (in sanitizer mode) checks the streams stay
+        # nondecreasing across the worker boundary.  Sampled retention
+        # keeps reservoirs, whose records carry no order — plain canonical
+        # sorts apply.
+        checked = engine.retention == "full"
+        windows = merge_sorted_records(
+            [outcome.windows for outcome in outcomes],
+            key=lambda record: (record.admit_layer, record.shard),
+            sanitize=engine.sanitize and checked,
+            description="window",
+        )
+        if not checked:
+            windows.sort(key=lambda record: (record.admit_layer, record.shard))
+        rejected = merge_sorted_records(
+            [outcome.rejected for outcome in outcomes],
+            key=lambda record: record.time,
+            sanitize=engine.sanitize and checked,
+            description="rejection",
+        )
+        rejected.sort(key=lambda record: (record.time, record.query_id))
+
+    outputs: dict[int, dict[tuple[int, int], complex]] = {}
+    for outcome in outcomes:
+        outputs.update(outcome.outputs)
+    max_depth = {shard: 0 for shard in range(num_shards)}
+    for outcome in outcomes:
+        max_depth[outcome.shard] = outcome.max_depth
+
+    if engine.retention == "full":
+        stats = summarize_service(
+            served, windows, max_depth, clops=clops, rejected=rejected
+        )
+    else:
+        merged = merge_service_aggregators(
+            [outcome.aggregator for outcome in outcomes]
+        )
+        stats = merged.to_stats(max_depth, clops=clops)
+
+    telemetry = (
+        _merge_telemetry(outcomes)
+        if engine.telemetry_interval is not None
+        else []
+    )
+    return Report(
+        served=served,
+        windows=windows,
+        stats=stats,
+        outputs=outputs,
+        rejected=rejected,
+        scale_events=[],
+        telemetry=telemetry,
+        retention=engine.retention,
+        parallel=ParallelRunInfo(
+            workers=worker_count,
+            partitions=len(outcomes),
+            fallback_reason=None,
+            worker_seconds=worker_seconds,
+        ),
+    )

@@ -50,6 +50,7 @@ __all__ = [
     "P2Quantile",
     "StreamingServiceAggregator",
     "StreamingStat",
+    "merge_service_aggregators",
 ]
 
 
@@ -76,6 +77,26 @@ class StreamingStat:
     def mean(self) -> float:
         """Mean of the series (0.0 when empty, matching ``_mean``)."""
         return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: StreamingStat) -> None:
+        """Fold another series' accumulators into this one.
+
+        Counts, sums and extrema merge exactly, so statistics over a
+        partitioned run equal the statistics of one combined series up to
+        float-summation order (parallel serving merges partitions in shard
+        order, making the order — and the result — worker-count
+        invariant).
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None and (
+            self.minimum is None or other.minimum < self.minimum
+        ):
+            self.minimum = other.minimum
+        if other.maximum is not None and (
+            self.maximum is None or other.maximum > self.maximum
+        ):
+            self.maximum = other.maximum
 
 
 class P2Quantile:
@@ -284,9 +305,109 @@ class _GroupAggregate:
         self.batch_total += record.batch_size
         self.busy_layers += record.total_layers
 
+    def merge(self, other: _GroupAggregate) -> None:
+        """Fold another group's accumulators into this one (shard-order
+        deterministic; see :func:`merge_service_aggregators`)."""
+        self.queries += other.queries
+        self.latency.merge(other.latency)
+        self.queue_delay.merge(other.queue_delay)
+        self.fidelity.merge(other.fidelity)
+        self.deadline_demand += other.deadline_demand
+        self.deadline_misses += other.deadline_misses
+        self.slo_demand += other.slo_demand
+        self.slo_misses += other.slo_misses
+        self.windows += other.windows
+        self.batch_total += other.batch_total
+        self.busy_layers += other.busy_layers
+        if not self.architecture:
+            self.architecture = other.architecture
+        self.shard_ids |= other.shard_ids
+        self.shed += other.shed
+        self.fidelity_rejected += other.fidelity_rejected
+
     @property
     def mean_batch_size(self) -> float:
         return self.batch_total / self.windows if self.windows else 0.0
+
+
+@dataclass(frozen=True)
+class _FrozenQuantile:
+    """A merged quantile estimate: duck-types ``P2Quantile.value``."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class _FrozenSketch:
+    """A merged latency bundle: duck-types ``LatencySketch.p50/p95/p99``."""
+
+    p50: float
+    p95: float
+    p99: float
+
+
+def _representatives(sketch: P2Quantile) -> list[tuple[float, float]]:
+    """Compress one P² sketch into ``(value, weight)`` representatives.
+
+    Below five observations the buffered values *are* the series (unit
+    weights, exact).  Beyond, the five marker heights stand in for the
+    series, each weighted by the share of observations its cell covers —
+    half the span between its neighbouring marker positions, normalized so
+    the weights sum to the observation count.  Merging partitions then
+    reduces to a weighted percentile over all partitions' representatives.
+    """
+    count = sketch.count
+    if count == 0:
+        return []
+    if count <= 5:
+        return [(height, 1.0) for height in sketch._heights]
+    positions = sketch._positions
+    spans = [
+        positions[1] - positions[0],
+        (positions[2] - positions[0]) / 2.0,
+        (positions[3] - positions[1]) / 2.0,
+        (positions[4] - positions[2]) / 2.0,
+        positions[4] - positions[3],
+    ]
+    total = sum(spans)
+    return [
+        (height, count * span / total)
+        for height, span in zip(sketch._heights, spans)
+    ]
+
+
+def _weighted_percentile(
+    representatives: list[tuple[float, float]], quantile: float
+) -> float:
+    """Linear-interpolated percentile of weighted representatives.
+
+    Each representative of weight ``w`` sits at the center of its run of
+    ``w`` virtual observations (``c_i = W_before + (w_i - 1) / 2``), so
+    with unit weights this reproduces ``_percentile`` exactly — merged
+    streaming percentiles of short series stay exact, and sketched ones
+    degrade no further than the sketches themselves.
+    """
+    if not representatives:
+        return 0.0
+    ordered = sorted(representatives)
+    total = sum(weight for _, weight in ordered)
+    rank = (total - 1.0) * quantile
+    centers: list[float] = []
+    before = 0.0
+    for _, weight in ordered:
+        centers.append(before + (weight - 1.0) / 2.0)
+        before += weight
+    if rank <= centers[0]:
+        return ordered[0][0]
+    if rank >= centers[-1]:
+        return ordered[-1][0]
+    for index in range(1, len(ordered)):
+        if rank <= centers[index]:
+            lower, upper = centers[index - 1], centers[index]
+            fraction = (rank - lower) / (upper - lower) if upper > lower else 0.0
+            low_value = ordered[index - 1][0]
+            return low_value + fraction * (ordered[index][0] - low_value)
+    return ordered[-1][0]
 
 
 class StreamingServiceAggregator:
@@ -489,3 +610,63 @@ class StreamingServiceAggregator:
                 slo_misses / slo_demand if slo_demand else 0.0
             ),
         )
+
+
+def merge_service_aggregators(
+    parts: list[StreamingServiceAggregator],
+) -> StreamingServiceAggregator:
+    """Combine per-partition aggregators into one fleet-wide aggregator.
+
+    Parallel serving aggregates each shard's records in its own worker;
+    this merge reassembles the run-wide view.  Counts, sums, means and
+    extrema merge exactly — identical to observing every record in one
+    aggregator.  The P² latency sketches are order-sensitive, so instead
+    of replaying them the merge combines each partition's weighted
+    representatives (:func:`_representatives`) into one weighted
+    percentile: exact when every partition saw at most five observations,
+    sketch-accurate beyond.  ``parts`` must be passed in shard order — the
+    float-summation order is then fixed by the partition layout, making
+    the merged statistics bit-identical across worker counts.
+
+    The merged aggregator is a summarizing snapshot: its percentile
+    sketches are frozen, so it must not observe further records.
+    """
+    if not parts:
+        raise ValueError("at least one partition aggregator is required")
+    merged = StreamingServiceAggregator()
+    p50_reps: list[tuple[float, float]] = []
+    p95_reps: list[tuple[float, float]] = []
+    p99_reps: list[tuple[float, float]] = []
+    tenant_reps: dict[int, list[tuple[float, float]]] = {}
+    for part in parts:
+        merged.served_count += part.served_count
+        merged.rejected_count += part.rejected_count
+        merged.shed_count += part.shed_count
+        merged.fidelity_rejected_count += part.fidelity_rejected_count
+        if part.makespan_layers > merged.makespan_layers:
+            merged.makespan_layers = part.makespan_layers
+        merged._global.merge(part._global)
+        p50_reps.extend(_representatives(part._latency_sketch._p50))
+        p95_reps.extend(_representatives(part._latency_sketch._p95))
+        p99_reps.extend(_representatives(part._latency_sketch._p99))
+        for tenant, group in part._tenants.items():
+            merged._tenants.setdefault(tenant, _GroupAggregate()).merge(group)
+            tenant_reps.setdefault(tenant, []).extend(
+                _representatives(part._tenant_sketches[tenant])
+            )
+        for shard, shard_group in part._shards.items():
+            merged._shards.setdefault(shard, _GroupAggregate()).merge(shard_group)
+        for name, backend_group in part._backends.items():
+            merged._backends.setdefault(name, _GroupAggregate()).merge(
+                backend_group
+            )
+    merged._latency_sketch = _FrozenSketch(  # type: ignore[assignment]
+        p50=_weighted_percentile(p50_reps, 0.50),
+        p95=_weighted_percentile(p95_reps, 0.95),
+        p99=_weighted_percentile(p99_reps, 0.99),
+    )
+    merged._tenant_sketches = {  # type: ignore[assignment]
+        tenant: _FrozenQuantile(_weighted_percentile(reps, 0.95))
+        for tenant, reps in tenant_reps.items()
+    }
+    return merged

@@ -39,6 +39,7 @@ from repro.core.query import QueryRequest
 from repro.engine.core import AutoscalerConfig, ServiceEngine, ServiceReport
 from repro.engine.workload import TraceSource, WorkloadSource
 from repro.scheduling.policy import AdmissionPolicy, as_policy
+from repro.schedule_cache import default_registry
 from repro.service.sharding import (
     InterleavedShardMap,
     ReplicatedShardMap,
@@ -135,6 +136,10 @@ class QRAMService:
             for shard, name in enumerate(architectures)
         ]
         self.architectures = [backend.name for backend in self.shards]
+        # Warm the process-wide schedule-cache registry at fleet build:
+        # identical shards resolve to one shared executor, and worker
+        # processes forked later inherit the warm table copy-on-write.
+        default_registry().prewarm(self.shards)
         self.policy = as_policy(policy, seed=seed)
         if window_size is not None and window_size < 1:
             raise ValueError("window_size must be >= 1")
@@ -206,6 +211,7 @@ class QRAMService:
         sample_seed: int = 0,
         telemetry_interval: float | None = None,
         sink=None,
+        workers: int | None = None,
     ) -> ServiceReport:
         """Serve any workload source with the full engine surface.
 
@@ -237,6 +243,14 @@ class QRAMService:
             sink: optional extra :class:`~repro.metrics.sinks.RecordSink`
                 (e.g. a :class:`~repro.metrics.sinks.JsonlSink`) that
                 receives every record regardless of retention.
+            workers: partitioned parallel serving — ``N >= 1`` serves the
+                shards in up to ``N`` forked worker processes and merges
+                the events back deterministically (bit-identical to
+                ``workers=1``); unpartitionable configurations fall back
+                to the single-process engine with the reason on
+                ``report.parallel``.  ``0`` forces single-process;
+                ``None`` defers to the ``REPRO_WORKERS`` environment
+                variable.  See :class:`repro.engine.ServiceEngine`.
         """
         engine = ServiceEngine(
             self,
@@ -249,5 +263,6 @@ class QRAMService:
             sample_seed=sample_seed,
             telemetry_interval=telemetry_interval,
             sink=sink,
+            workers=workers,
         )
         return engine.run(source, clops=clops)

@@ -112,6 +112,7 @@ def _iter_arrival_trace(
     seed: int,
     deadline_layers: float | None = None,
     min_fidelity: float | None = None,
+    shards: Iterable[int] | None = None,
 ) -> Iterator[QueryRequest]:
     """Lazily yield requests at the given arrival times, round-robin over
     tenants and random (shard-aligned) address superpositions.
@@ -119,10 +120,21 @@ def _iter_arrival_trace(
     One request is materialized at a time: driven by a lazy ``times``
     stream and a :class:`~repro.engine.workload.StreamingTraceSource`,
     a trace of any length occupies O(1) memory.
+
+    With ``shards`` the stream is restricted to the requests owned by
+    those shards — the same requests, byte for byte, that the unrestricted
+    stream yields for them (every query's ids, times, tenants and draws
+    are keyed by its global position ``i``, and the cheap sequential
+    shard draw advances for skipped queries too), but the expensive
+    superposition draw is skipped for everything else.  This is what lets
+    a parallel serving worker regenerate only its partition of a trace.
     """
+    owned = None if shards is None else frozenset(int(s) for s in shards)
     rng = np.random.default_rng(seed)
     for i, t in enumerate(times):
         shard = int(rng.integers(num_shards))
+        if owned is not None and shard not in owned:
+            continue
         yield QueryRequest(
             query_id=i,
             address_amplitudes=shard_aligned_superposition(
@@ -145,6 +157,7 @@ def iter_poisson_trace(
     seed: int = 0,
     deadline_layers: float | None = None,
     min_fidelity: float | None = None,
+    shards: Iterable[int] | None = None,
 ) -> Iterator[QueryRequest]:
     """Lazily yield the open-loop Poisson trace of :func:`poisson_trace`.
 
@@ -153,14 +166,15 @@ def iter_poisson_trace(
     test), but nothing is materialized: feed it to a
     :class:`~repro.engine.workload.StreamingTraceSource` and a
     million-query trace is generated, served and discarded one request at
-    a time.
+    a time.  ``shards`` restricts the stream to those shards' requests
+    without perturbing them (see :func:`_iter_arrival_trace`).
     """
     if num_queries < 1:
         raise ValueError("num_queries must be >= 1")
     times = iter_exponential_times(num_queries, mean_interarrival, seed)
     return _iter_arrival_trace(
         capacity, times, addresses_per_query, num_tenants, num_shards, seed,
-        deadline_layers, min_fidelity,
+        deadline_layers, min_fidelity, shards,
     )
 
 
@@ -204,15 +218,17 @@ def iter_bursty_trace(
     seed: int = 0,
     deadline_layers: float | None = None,
     min_fidelity: float | None = None,
+    shards: Iterable[int] | None = None,
 ) -> Iterator[QueryRequest]:
     """Lazily yield the bursty trace of :func:`bursty_trace` (same RNG
-    streams, O(1) memory)."""
+    streams, O(1) memory; ``shards`` restricts to those shards' requests,
+    see :func:`_iter_arrival_trace`)."""
     if num_bursts < 1 or burst_size < 1:
         raise ValueError("num_bursts and burst_size must be >= 1")
     times = iter_burst_times(num_bursts, burst_size, burst_spacing)
     return _iter_arrival_trace(
         capacity, times, addresses_per_query, num_tenants, num_shards, seed,
-        deadline_layers, min_fidelity,
+        deadline_layers, min_fidelity, shards,
     )
 
 

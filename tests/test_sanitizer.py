@@ -114,14 +114,19 @@ def test_backwards_clock_detected(monkeypatch):
 
 
 def test_lost_served_records_break_conservation():
-    engine = ServiceEngine(_service(), sanitize=True)
+    # workers=0 pins the oracle path: the instance-level patch below can
+    # only break *this* engine, never the fresh per-shard child engines
+    # REPRO_WORKERS-driven partitioned runs would serve with.
+    engine = ServiceEngine(_service(), sanitize=True, workers=0)
     engine._record_served = lambda record: None  # silently drop every result
     with pytest.raises(SanitizerViolation, match="conservation"):
         engine.run(TraceSource(_trace()))
 
 
 def test_window_admission_on_busy_shard_detected():
-    engine = ServiceEngine(_service(), sanitize=True)
+    # workers=0 here and below: these tests reach into the oracle engine's
+    # internals, which a REPRO_WORKERS-partitioned run never populates.
+    engine = ServiceEngine(_service(), sanitize=True, workers=0)
     engine.run(TraceSource(_trace()))
     engine._busy_until[0] = 100.0
     with pytest.raises(SanitizerViolation, match="busy"):
@@ -131,7 +136,7 @@ def test_window_admission_on_busy_shard_detected():
 def test_unsanitized_engine_tolerates_the_same_fault():
     # The conservation fault from above passes silently without the
     # sanitizer: dropped records *reduce* served counts but nothing checks.
-    engine = ServiceEngine(_service(), sanitize=False)
+    engine = ServiceEngine(_service(), sanitize=False, workers=0)
     engine._record_served = lambda record: None
     # With zero served and zero rejected records the plain engine can only
     # misdiagnose the fault as an empty workload.
@@ -140,7 +145,7 @@ def test_unsanitized_engine_tolerates_the_same_fault():
 
 
 def test_queries_left_queued_detected():
-    engine = ServiceEngine(_service(), sanitize=True)
+    engine = ServiceEngine(_service(), sanitize=True, workers=0)
 
     def leak(shard, now):  # never start windows: arrivals stay queued forever
         return None
@@ -152,7 +157,7 @@ def test_queries_left_queued_detected():
 
 # ----------------------------------------------------------- request counting
 def test_offered_counts_validated_arrivals():
-    engine = ServiceEngine(_service(), sanitize=True)
+    engine = ServiceEngine(_service(), sanitize=True, workers=0)
     report = engine.run(TraceSource(_trace(queries=15)))
     assert engine._offered == 15
     assert report.stats.offered_queries == 15

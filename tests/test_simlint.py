@@ -30,7 +30,7 @@ def codes(result):
 
 
 # -------------------------------------------------------------------- registry
-def test_all_six_rules_registered():
+def test_all_seven_rules_registered():
     assert sorted(all_rules()) == [
         "SIM001",
         "SIM002",
@@ -38,6 +38,7 @@ def test_all_six_rules_registered():
         "SIM004",
         "SIM005",
         "SIM006",
+        "SIM007",
     ]
 
 
@@ -331,6 +332,61 @@ def test_sim006_clean_suffixed_and_weighted_names():
         "    total_layers = 1.0\n"
         "    span = total_layers + weighted_total\n",  # same unit family
         rules=["SIM006"],
+    )
+    assert result.ok, [f.message for f in result.findings]
+
+
+# --------------------------------------------------------------------- SIM007
+def test_sim007_flags_mutated_module_global_cache():
+    result = lint_source(
+        "_SCHEDULE_CACHE = {}\n"
+        "def lookup(key, build):\n"
+        "    if key not in _SCHEDULE_CACHE:\n"
+        "        _SCHEDULE_CACHE[key] = build()\n"
+        "    return _SCHEDULE_CACHE[key]\n",
+        rules=["SIM007"],
+    )
+    assert codes(result) == ["SIM007"]
+    assert "ScheduleCacheRegistry" in result.findings[0].message
+
+
+def test_sim007_flags_unseeded_numpy_rng():
+    result = lint_source(
+        "import numpy as np\n"
+        "def jitter():\n"
+        "    return np.random.default_rng().normal()\n",
+        rules=["SIM007"],
+    )
+    assert codes(result) == ["SIM007"]
+    assert "fork-divergent" in result.findings[0].message
+
+
+def test_sim007_flags_pid_and_time_seeded_rng():
+    result = lint_source(
+        "import os, random, time\n"
+        "from numpy.random import default_rng\n"
+        "def make_rngs():\n"
+        "    a = random.Random(os.getpid())\n"
+        "    b = default_rng(seed=int(time.time()))\n"
+        "    return a, b\n",
+        rules=["SIM007"],
+    )
+    assert codes(result) == ["SIM007", "SIM007"]
+    messages = " ".join(f.message for f in result.findings)
+    assert "os.getpid" in messages and "time.time" in messages
+
+
+def test_sim007_clean_registry_and_stable_seeds():
+    result = lint_source(
+        "from numpy.random import default_rng\n"
+        "from repro.schedule_cache import default_registry\n"
+        "REGISTRY = default_registry()\n"
+        "KIND_TABLE = {'fat-tree': 1, 'bb': 2}\n"  # read-only: fork-safe
+        "def sampler(shard):\n"
+        "    return default_rng(1000 + shard)\n"
+        "def lookup(kind):\n"
+        "    return KIND_TABLE[kind]\n",
+        rules=["SIM007"],
     )
     assert result.ok, [f.message for f in result.findings]
 

@@ -471,7 +471,9 @@ def test_engine_run_reusable_after_autoscale():
 
 
 def test_fidelity_prediction_memoized(service, trace):
-    engine = ServiceEngine(service)
+    # workers=0: the memoization under test lives on this engine instance,
+    # which a REPRO_WORKERS-partitioned run would never drive directly.
+    engine = ServiceEngine(service, workers=0)
     engine.run(TraceSource(trace))
     assert engine._fidelity_cache  # the hot path populated the cache
     first = engine._predicted_fidelities(0, 2)

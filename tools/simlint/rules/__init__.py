@@ -7,4 +7,5 @@ from tools.simlint.rules import (  # noqa: F401
     sim004_priorities,
     sim005_shared_state,
     sim006_units,
+    sim007_fork_safety,
 )
