@@ -38,6 +38,9 @@ Environment knobs:
 * ``QRAM_SCALE_MIN_SPEEDUP`` — required 8-worker speedup over 1 worker
   (default 5.0); *only enforced when the host has >= 8 CPUs* — a
   single-core host records the honest (flat) numbers and skips the gate.
+* ``REPRO_PROFILE`` — profile the headline run's engine stages and print
+  the stage-time table (the CI profiling smoke test); the row records
+  ``"profiled": true`` since profiling slows serving by a few µs/request.
 
 The pytest entry point (``pytest benchmarks/bench_service_scale.py``) runs
 reduced versions of the same measurements so the harness stays cheap.
@@ -54,6 +57,7 @@ import tracemalloc
 from pathlib import Path
 
 import repro.engine.parallel
+import repro.perf.profiler
 from repro.engine import PartitionedTraceSource, StreamingTraceSource
 from repro.service import QRAMService
 from repro.workloads import iter_poisson_trace
@@ -83,8 +87,33 @@ MIN_SPEEDUP = float(os.environ.get("QRAM_SCALE_MIN_SPEEDUP", "5.0"))
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_service_scale.json"
 
 # Simulation code never reads host wall time; measurement harnesses opt in
-# so ParallelRunInfo.worker_seconds reports real per-worker elapsed times.
+# so ParallelRunInfo.worker_seconds reports real per-worker elapsed times
+# and (under REPRO_PROFILE=1) the stage profiler attributes real seconds.
 repro.engine.parallel.host_clock = time.perf_counter
+repro.perf.profiler.host_clock = time.perf_counter
+
+#: Every key a trajectory row carries.  Historical rows predate some keys
+#: (the seed row has no ``cpu_count`` or ``workers_axis``; rows before the
+#: profiler have no ``profiled``); :func:`_normalize_trajectory` backfills
+#: ``null`` so consumers can rely on one uniform row shape, and new rows
+#: are checked against the full schema before being appended.
+ROW_SCHEMA = (
+    "cpu_count",
+    "requests",
+    "wall_seconds",
+    "requests_per_sec",
+    "peak_rss_mib",
+    "retention",
+    "makespan_layers",
+    "bandwidth_queries_per_sec",
+    "mean_latency_layers",
+    "p50_latency_layers",
+    "p99_latency_layers",
+    "telemetry_intervals",
+    "bounded_memory_check",
+    "workers_axis",
+    "profiled",
+)
 
 
 def _serve(num_requests: int, telemetry_interval: float | None = None):
@@ -219,6 +248,10 @@ def run_scale(num_requests: int) -> dict:
     assert stats.total_queries == num_requests
     assert report.served == [] and report.windows == []
 
+    if report.profile is not None:
+        print("stage profile (headline run):")
+        print(report.profile.table())
+
     # ru_maxrss is KiB on Linux but bytes on macOS.
     rss_raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     per_mib = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
@@ -241,6 +274,7 @@ def run_scale(num_requests: int) -> dict:
             "traced_peak_small_bytes": peak_small,
             "traced_peak_large_bytes": peak_large,
         },
+        "profiled": report.profile is not None,
     }
 
 
@@ -297,10 +331,50 @@ def _load_trajectory() -> list[dict]:
     return [data]  # legacy layout: one bare metrics object
 
 
+def _normalize_trajectory(runs: list[dict]) -> list[dict]:
+    """Backfill ``null`` for schema keys historical rows predate.
+
+    Recorded measurements are never rewritten — only missing keys gain an
+    explicit ``None`` so every row exposes the full :data:`ROW_SCHEMA`.
+    """
+    for row in runs:
+        for key in ROW_SCHEMA:
+            row.setdefault(key, None)
+    return runs
+
+
+def _check_row(row: dict) -> None:
+    """A freshly measured row must carry the full schema, nothing ad hoc."""
+    missing = [key for key in ROW_SCHEMA if key not in row]
+    extra = [key for key in row if key not in ROW_SCHEMA]
+    assert not missing and not extra, (
+        f"trajectory row schema drift: missing={missing} extra={extra} — "
+        f"update ROW_SCHEMA alongside run_scale()"
+    )
+
+
+def test_trajectory_row_schema():
+    """Normalization backfills exactly the missing keys, as ``None``."""
+    legacy = {"requests": 10, "requests_per_sec": 1.0}
+    rows = _normalize_trajectory([legacy])
+    assert rows[0] is legacy  # in place: recorded values untouched
+    assert set(legacy) == set(ROW_SCHEMA)
+    assert legacy["requests"] == 10 and legacy["requests_per_sec"] == 1.0
+    assert legacy["cpu_count"] is None and legacy["workers_axis"] is None
+    _check_row(legacy)
+    try:
+        _check_row({**legacy, "ad_hoc": 1})
+    except AssertionError:
+        pass
+    else:  # pragma: no cover - the check must reject drift
+        raise AssertionError("schema drift went undetected")
+
+
 def main() -> None:
     metrics = run_scale(REQUESTS)
     metrics["workers_axis"] = run_workers_axis(PARALLEL_REQUESTS)
-    runs = _load_trajectory()
+    _check_row(metrics)
+    runs = _normalize_trajectory(_load_trajectory())
     runs.append(metrics)
     RESULT_PATH.write_text(
         json.dumps({"runs": runs}, indent=2) + "\n", encoding="utf-8"

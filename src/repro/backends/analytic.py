@@ -25,8 +25,10 @@ Timing models (per window of ``k`` queries, all in raw layers):
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Hashable, Sequence
 from typing import Any
+
+import numpy as np
 
 from repro.backends.noise import (
     PredictedFidelityMixin,
@@ -127,25 +129,34 @@ class VirtualBackend(_ModelBackend):
         return 0
 
     def warm_schedule_caches(self) -> None:
-        """Warm every page QRAM's shared executor.
+        """Warm every page QRAM's shared executor and the window memos.
 
         Pages are BB QRAMs over page-local memory slices; each resolves its
         executor through the process-wide registry, so replicas of the same
-        Virtual configuration share all page executors.
+        Virtual configuration share all page executors.  The shared
+        fidelity vectors and timing windows of every admissible occupancy
+        are pre-derived alongside.
         """
         for page in self.model.page_qrams():
             page.cached_executor()
+        for occupancy in range(1, max(2, self.query_parallelism) + 1):
+            self.timing_window(occupancy)
 
     def _window_offsets(
         self, batch_size: int
     ) -> tuple[int, float, tuple[float, ...], tuple[float, ...]]:
         lifetime = self.model.raw_query_layers
         parallelism = max(1, self.query_parallelism)
-        # Queries beyond the parallelism run in later full rounds.
-        rounds = [slot // parallelism for slot in range(batch_size)]
-        starts = tuple(float(r * lifetime + 1) for r in rounds)
-        finishes = tuple(start + lifetime - 1 for start in starts)
-        total = float((max(rounds) + 1) * lifetime)
+        # Queries beyond the parallelism run in later full rounds.  One
+        # array expression per window: round * lifetime + 1 is exact
+        # integer arithmetic in float64, and the finish expression keeps
+        # the scalar's association `(start + lifetime) - 1`.
+        rounds = np.arange(batch_size, dtype=np.int64) // parallelism
+        starts_arr = rounds.astype(np.float64) * lifetime + 1.0
+        finishes_arr = starts_arr + float(lifetime) - 1.0
+        starts = tuple(starts_arr.tolist())
+        finishes = tuple(finishes_arr.tolist())
+        total = float(((batch_size - 1) // parallelism + 1) * lifetime)
         return 0, total, starts, finishes
 
     def _infidelity_bounds(
@@ -155,24 +166,25 @@ class VirtualBackend(_ModelBackend):
             self.capacity, self.model.num_pages, self.model.page_size, parameters
         )
 
+    def _prediction_profile(self) -> tuple[str, int, int, Hashable]:
+        return (
+            self.name,
+            self.capacity,
+            0,
+            (self.model.num_pages, self.model.page_size, self.parameters),
+        )
+
     def run_window(
         self, requests: Sequence[QueryRequest], functional: bool = True
     ) -> WindowResult:
         if not requests:
             raise ValueError("a window requires at least one request")
+        if not functional:
+            # Timing-only windows are pure schedule evaluations: one
+            # memoized WindowResult per occupancy (the serving hot path).
+            return self.timing_window(len(requests))
         interval, total, starts, finishes = self._window_offsets(len(requests))
         predicted = self.predicted_window_fidelities(len(requests))
-
-        if not functional:
-            return WindowResult(
-                interval=interval,
-                total_layers=total,
-                start_offsets=starts,
-                finish_offsets=finishes,
-                outputs=(None,) * len(requests),
-                fidelities=predicted,
-                predicted_fidelities=predicted,
-            )
 
         data = self.model.data
         outputs = []
@@ -211,28 +223,45 @@ class _DistributedBackend(_ModelBackend):
         return self._copy_timing()[0]
 
     def warm_schedule_caches(self) -> None:
-        """Warm the copies' shared executor and the per-copy timing.
+        """Warm the copies' shared executor and the window memos.
 
         All copies hold the same memory image, so the registry resolves
         every ``cached_executor`` call to one shared entry — warming is a
         single derivation no matter how many copies the model replicates.
+        The shared fidelity vectors and timing windows of every admissible
+        occupancy are pre-derived alongside.
         """
         for copy in self.model.copies:
             copy.cached_executor()
         self._copy_timing()
+        for occupancy in range(1, max(2, self.query_parallelism) + 1):
+            self.timing_window(occupancy)
 
     def _window_offsets(
         self, batch_size: int
     ) -> tuple[int, float, tuple[float, ...], tuple[float, ...]]:
         interval, lifetime = self._copy_timing()
         copies = self.model.num_copies
-        local_slots = [slot // copies for slot in range(batch_size)]
-        starts = tuple(float(local * interval + 1) for local in local_slots)
-        finishes = tuple(start + lifetime - 1 for start in starts)
-        total = float(max(local_slots) * interval + lifetime)
+        # One array expression per window: local * interval + 1 is exact
+        # integer arithmetic in float64, and the finish expression keeps
+        # the scalar's association `(start + lifetime) - 1`.
+        local_slots = np.arange(batch_size, dtype=np.int64) // copies
+        starts_arr = local_slots.astype(np.float64) * interval + 1.0
+        finishes_arr = starts_arr + float(lifetime) - 1.0
+        starts = tuple(starts_arr.tolist())
+        finishes = tuple(finishes_arr.tolist())
+        total = float(((batch_size - 1) // copies) * interval + lifetime)
         return interval, total, starts, finishes
 
-    def predicted_window_fidelities(self, batch_size: int = 1) -> tuple[float, ...]:
+    def _prediction_profile(self) -> tuple[str, int, int, Hashable]:
+        return (
+            self.name,
+            self.capacity,
+            0,
+            (self.model.num_copies, self.parameters),
+        )
+
+    def _compute_window_fidelities(self, batch_size: int) -> tuple[float, ...]:
         """Per-slot prediction with crosstalk restricted to same-copy slots.
 
         The generic offset-overlap model would couple slots on *different*
@@ -240,50 +269,43 @@ class _DistributedBackend(_ModelBackend):
         hardware); predicting each copy's sub-batch separately and
         interleaving the results keeps the degradation physical.
         """
-        if batch_size < 1:
-            raise ValueError("batch_size must be >= 1")
-        cache = self.__dict__.setdefault("_predicted_fidelity_cache", {})
-        if batch_size not in cache:
-            interval, lifetime = self._copy_timing()
-            base, crosstalk = self._infidelity_bounds(self.parameters)
-            copies = self.model.num_copies
-            per_copy = [
-                len(range(copy, batch_size, copies)) for copy in range(copies)
-            ]
-            sub_batches: dict[int, tuple[float, ...]] = {}
-            for size in sorted(set(per_copy)):
-                if size == 0:
-                    continue
-                starts = tuple(float(local * interval + 1) for local in range(size))
-                finishes = tuple(start + lifetime - 1 for start in starts)
-                sub_batches[size] = pipelined_fidelities(
-                    base, crosstalk, starts, finishes
-                )
-            fidelities = [0.0] * batch_size
-            for copy in range(copies):
-                for local, slot in enumerate(range(copy, batch_size, copies)):
-                    fidelities[slot] = sub_batches[per_copy[copy]][local]
-            cache[batch_size] = tuple(fidelities)
-        return cache[batch_size]
+        interval, lifetime = self._copy_timing()
+        base, crosstalk = self._infidelity_bounds(self.parameters)
+        copies = self.model.num_copies
+        per_copy = [
+            len(range(copy, batch_size, copies)) for copy in range(copies)
+        ]
+        sub_batches: dict[int, tuple[float, ...]] = {}
+        for size in sorted(set(per_copy)):
+            if size == 0:
+                continue
+            starts_arr = np.arange(size, dtype=np.float64) * interval + 1.0
+            finishes_arr = starts_arr + float(lifetime) - 1.0
+            sub_batches[size] = pipelined_fidelities(
+                base,
+                crosstalk,
+                tuple(starts_arr.tolist()),
+                tuple(finishes_arr.tolist()),
+            )
+        # Interleave the per-copy vectors back to window slot order with
+        # strided slice assignment (slot s lives on copy s mod C).
+        fidelities = [0.0] * batch_size
+        for copy in range(copies):
+            if per_copy[copy]:
+                fidelities[copy::copies] = sub_batches[per_copy[copy]]
+        return tuple(fidelities)
 
     def run_window(
         self, requests: Sequence[QueryRequest], functional: bool = True
     ) -> WindowResult:
         if not requests:
             raise ValueError("a window requires at least one request")
+        if not functional:
+            # Timing-only windows are pure schedule evaluations: one
+            # memoized WindowResult per occupancy (the serving hot path).
+            return self.timing_window(len(requests))
         interval, total, starts, finishes = self._window_offsets(len(requests))
         predicted = self.predicted_window_fidelities(len(requests))
-
-        if not functional:
-            return WindowResult(
-                interval=interval,
-                total_layers=total,
-                start_offsets=starts,
-                finish_offsets=finishes,
-                outputs=(None,) * len(requests),
-                fidelities=predicted,
-                predicted_fidelities=predicted,
-            )
 
         data = self.model.data
         copies = self.model.num_copies

@@ -13,7 +13,9 @@ no pipelining degradation applies.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Hashable, Sequence
+
+import numpy as np
 
 from repro.backends.noise import PredictedFidelityMixin, bb_bounds
 from repro.backends.protocol import WindowResult, ideal_output, output_fidelity
@@ -79,9 +81,12 @@ class BBBackend(PredictedFidelityMixin):
 
         BB schedules are memoized per query slot inside the executor;
         warming the executor itself is what lets every replica of this
-        memory image share those memos.
+        memory image share those memos.  The shared fidelity vector and
+        timing window of the one-query window (all BB admits) are
+        pre-derived alongside.
         """
         self.qram.cached_executor()
+        self.timing_window(1)
 
     # ----------------------------------------------------------------- timing
     def minimum_feasible_interval(self, num_queries: int = 2) -> int:
@@ -98,8 +103,12 @@ class BBBackend(PredictedFidelityMixin):
         self, batch_size: int
     ) -> tuple[int, float, tuple[float, ...], tuple[float, ...]]:
         lifetime = self.qram.raw_query_layers
-        starts = tuple(float(slot * lifetime + 1) for slot in range(batch_size))
-        finishes = tuple(start + lifetime - 1 for start in starts)
+        # One array expression per window; exact integer arithmetic in
+        # float64, association matching the scalar `(start + lifetime) - 1`.
+        starts_arr = np.arange(batch_size, dtype=np.float64) * lifetime + 1.0
+        finishes_arr = starts_arr + float(lifetime) - 1.0
+        starts = tuple(starts_arr.tolist())
+        finishes = tuple(finishes_arr.tolist())
         return lifetime, float(batch_size * lifetime), starts, finishes
 
     # --------------------------------------------------------------- fidelity
@@ -108,6 +117,9 @@ class BBBackend(PredictedFidelityMixin):
     ) -> tuple[float, float]:
         return bb_bounds(self.capacity, parameters)
 
+    def _prediction_profile(self) -> tuple[str, int, int, Hashable]:
+        return self.name, self.capacity, 0, self.parameters
+
     # -------------------------------------------------------------- execution
     def run_window(
         self, requests: Sequence[QueryRequest], functional: bool = True
@@ -115,19 +127,12 @@ class BBBackend(PredictedFidelityMixin):
         """Run one batch of queries back to back on the cached executor."""
         if not requests:
             raise ValueError("a window requires at least one request")
+        if not functional:
+            # Timing-only windows are pure schedule evaluations: one
+            # memoized WindowResult per occupancy.
+            return self.timing_window(len(requests))
         interval, total, starts, finishes = self._window_offsets(len(requests))
         predicted = self.predicted_window_fidelities(len(requests))
-
-        if not functional:
-            return WindowResult(
-                interval=interval,
-                total_layers=total,
-                start_offsets=starts,
-                finish_offsets=finishes,
-                outputs=(None,) * len(requests),
-                fidelities=predicted,
-                predicted_fidelities=predicted,
-            )
 
         executor = self.qram.cached_executor()
         outputs = []

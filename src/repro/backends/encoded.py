@@ -26,8 +26,10 @@ through so functional serving keeps returning amplitudes.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Hashable, Sequence
 from typing import Any
+
+import numpy as np
 
 from repro.backends.noise import PredictedFidelityMixin
 from repro.backends.protocol import WindowResult
@@ -140,12 +142,15 @@ class EncodedBackend(PredictedFidelityMixin):
         """Warm the bare inner backend's shared schedule caches.
 
         Encoding rescales timing and fidelity analytically on top of the
-        bare schedule, so the inner backend's registry entry is the whole
-        cache footprint of an encoded replica.
+        bare schedule, so the inner backend's registry entry dominates the
+        cache footprint of an encoded replica; the wrapper's own shared
+        fidelity vectors and timing windows are pre-derived alongside.
         """
         hook = getattr(self.backend, "warm_schedule_caches", None)
         if hook is not None:
             hook()
+        for occupancy in range(1, max(2, self.query_parallelism) + 1):
+            self.timing_window(occupancy)
 
     # ----------------------------------------------------------------- timing
     def minimum_feasible_interval(self, num_queries: int = 2) -> int:
@@ -171,11 +176,18 @@ class EncodedBackend(PredictedFidelityMixin):
         depth = self.code.syndrome_depth
         trailer = self.code.physical_qubits
         interval, total, starts, finishes = self.backend._window_offsets(batch_size)
+        # One array expression per window: `depth * x` is a single IEEE
+        # multiply either way, and the finish expression keeps the
+        # scalar's association `(depth * finish) + trailer`.
+        starts_arr = np.asarray(starts, dtype=np.float64) * depth
+        finishes_arr = (
+            np.asarray(finishes, dtype=np.float64) * depth + float(trailer)
+        )
         return (
             depth * interval,
             depth * total + trailer,
-            tuple(depth * start for start in starts),
-            tuple(depth * finish + trailer for finish in finishes),
+            tuple(starts_arr.tolist()),
+            tuple(finishes_arr.tolist()),
         )
 
     # --------------------------------------------------------------- fidelity
@@ -186,18 +198,43 @@ class EncodedBackend(PredictedFidelityMixin):
         rates this wrapper derived at construction."""
         return self.backend._infidelity_bounds(parameters)
 
+    def _prediction_profile(self) -> tuple[str, int, int, Hashable] | None:
+        """Compose the inner backend's registry identity with the code.
+
+        The inner profile's ``extra`` rides along so everything the bare
+        offsets depend on stays in the key; an inner backend without a
+        registry identity keeps the encoded wrapper instance-local too.
+        """
+        inner = getattr(self.backend, "_prediction_profile", None)
+        profile = inner() if inner is not None else None
+        if profile is None:
+            return None
+        arch, capacity, _, extra = profile
+        return (
+            arch,
+            capacity,
+            self.distance,
+            (
+                extra,
+                self.code.physical_qubits,
+                self.code.syndrome_depth,
+                self.parameters,
+            ),
+        )
+
     # -------------------------------------------------------------- execution
     def run_window(
         self, requests: Sequence[QueryRequest], functional: bool = True
     ) -> WindowResult:
         if not requests:
             raise ValueError("a window requires at least one request")
+        if not functional:
+            # Timing-only windows are pure schedule evaluations: one
+            # memoized WindowResult per occupancy (the serving hot path).
+            return self.timing_window(len(requests))
         interval, total, starts, finishes = self._window_offsets(len(requests))
         predicted = self.predicted_window_fidelities(len(requests))
-        if functional:
-            outputs = self.backend.run_window(requests, functional=True).outputs
-        else:
-            outputs = (None,) * len(requests)
+        outputs = self.backend.run_window(requests, functional=True).outputs
         return WindowResult(
             interval=interval,
             total_layers=total,

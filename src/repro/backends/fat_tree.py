@@ -12,7 +12,9 @@ slot's pipelining overlap (:mod:`repro.backends.noise`).
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Hashable, Sequence
+
+import numpy as np
 
 from repro.backends.noise import PredictedFidelityMixin, fat_tree_bounds
 from repro.backends.protocol import WindowResult
@@ -78,13 +80,14 @@ class FatTreeBackend(PredictedFidelityMixin):
 
         Resolves the executor through the process-wide
         :class:`~repro.schedule_cache.ScheduleCacheRegistry` and pre-derives
-        the minimum feasible interval for every window occupancy this
-        backend can admit, so later replicas (autoscaled or forked) start
-        from a warm cache.
+        the minimum feasible interval, the shared fidelity vector and the
+        memoized timing window for every occupancy this backend can admit,
+        so later replicas (autoscaled or forked) start from a warm cache.
         """
         executor = self.qram.cached_executor()
         for occupancy in range(1, max(2, self.query_parallelism) + 1):
             executor.minimum_feasible_interval(occupancy)
+            self.timing_window(occupancy)
 
     # ----------------------------------------------------------------- timing
     def minimum_feasible_interval(self, num_queries: int = 2) -> int:
@@ -102,8 +105,14 @@ class FatTreeBackend(PredictedFidelityMixin):
         executor = self.qram.cached_executor()
         interval = executor.minimum_feasible_interval(batch_size)
         lifetime = executor.relative_raw_latency()
-        starts = tuple(float(slot * interval + 1) for slot in range(batch_size))
-        finishes = tuple(start + lifetime - 1 for start in starts)
+        # All slots in one array expression (slot * interval + 1 is exact
+        # integer arithmetic in float64, so this matches the scalar form
+        # bitwise; the finish expression keeps the scalar's left-to-right
+        # association `(start + lifetime) - 1`).
+        starts_arr = np.arange(batch_size, dtype=np.float64) * interval + 1.0
+        finishes_arr = starts_arr + float(lifetime) - 1.0
+        starts = tuple(starts_arr.tolist())
+        finishes = tuple(finishes_arr.tolist())
         total = float((batch_size - 1) * interval + lifetime)
         return interval, total, starts, finishes
 
@@ -112,6 +121,9 @@ class FatTreeBackend(PredictedFidelityMixin):
         self, parameters: HardwareParameters
     ) -> tuple[float, float]:
         return fat_tree_bounds(self.capacity, parameters)
+
+    def _prediction_profile(self) -> tuple[str, int, int, Hashable]:
+        return self.name, self.capacity, 0, self.parameters
 
     # -------------------------------------------------------------- execution
     def run_window(
@@ -125,19 +137,12 @@ class FatTreeBackend(PredictedFidelityMixin):
         """
         if not requests:
             raise ValueError("a window requires at least one request")
+        if not functional:
+            # Timing-only windows are pure schedule evaluations: one
+            # memoized WindowResult per occupancy (the serving hot path).
+            return self.timing_window(len(requests))
         interval, total, starts, finishes = self._window_offsets(len(requests))
         predicted = self.predicted_window_fidelities(len(requests))
-
-        if not functional:
-            return WindowResult(
-                interval=interval,
-                total_layers=total,
-                start_offsets=starts,
-                finish_offsets=finishes,
-                outputs=(None,) * len(requests),
-                fidelities=predicted,
-                predicted_fidelities=predicted,
-            )
 
         executor = self.qram.cached_executor()
         local = [

@@ -86,6 +86,7 @@ from repro.metrics.service_stats import (
 )
 from repro.metrics.sinks import ListSink, NullSink, RecordSink, SamplingSink
 from repro.metrics.streaming import IntervalStats, StreamingServiceAggregator
+from repro.perf.profiler import HotPathProfiler, StageProfile, env_profile
 from repro.schedule_cache import default_registry
 
 #: Retention modes for the engine's per-request records.
@@ -122,6 +123,20 @@ def _env_workers() -> int | None:
     except ValueError:
         return None
     return value if value >= 1 else None
+
+
+#: (stage name, engine method) pairs wrapped when profiling.  ``run_window``
+#: and ``heap_pop`` / ``heap_push`` are attributed separately inside
+#: ``_execute_window`` / ``_run_events``.
+_PROFILED_STAGES: tuple[tuple[str, str], ...] = (
+    ("admission", "_on_arrival"),
+    ("placement", "_shortest_queue"),
+    ("fidelity_prediction", "_predicted_fidelities"),
+    ("window_execute", "_execute_window"),
+    ("sketch_update", "_record_served"),
+    ("sketch_update_window", "_record_window"),
+    ("sketch_update_rejected", "_record_rejected"),
+)
 
 
 def _distilled(fidelity: float, copies: int) -> float:
@@ -233,6 +248,12 @@ class ServiceReport:
             single-process run.  Excluded from equality — the whole point
             of the parallel path is that reports compare equal across
             worker counts.
+        profile: the hot-path stage-time table
+            (:class:`~repro.perf.profiler.StageProfile`) when the engine
+            ran with ``profile=True`` / ``REPRO_PROFILE=1``; ``None``
+            otherwise.  Excluded from equality like ``parallel`` —
+            profiling is observational and must never make two otherwise
+            identical reports differ.
     """
 
     served: list[ServedQuery]
@@ -246,6 +267,7 @@ class ServiceReport:
     parallel: ParallelRunInfo | None = field(
         default=None, repr=False, compare=False
     )
+    profile: StageProfile | None = field(default=None, repr=False, compare=False)
     _result_index: dict[int, ServedQuery] | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -326,6 +348,13 @@ class ServiceEngine:
             (the default) reads the ``REPRO_SANITIZE`` environment
             variable, which is how CI runs the whole test suite
             sanitized.
+        profile: hot-path stage profiling.  When True the run attributes
+            per-stage invocation counts (and wall seconds, when a host
+            clock is injected into :mod:`repro.perf.profiler`) to the
+            named engine stages and lands the table on the report's
+            ``profile`` field.  Profiling is observational: the report is
+            otherwise identical to an unprofiled run.  ``None`` (the
+            default) reads the ``REPRO_PROFILE`` environment variable.
 
     Engines are reusable: ``run`` resets all per-run state (queues, seen
     ids, busy times, telemetry, caches) on entry, so consecutive runs of
@@ -350,6 +379,7 @@ class ServiceEngine:
         sink: RecordSink | None = None,
         sanitize: bool | None = None,
         workers: int | None = None,
+        profile: bool | None = None,
     ) -> None:
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
@@ -390,6 +420,10 @@ class ServiceEngine:
         self.sink = sink
         self.sanitize = _env_sanitize() if sanitize is None else bool(sanitize)
         self.workers = workers
+        self.profile = env_profile() if profile is None else bool(profile)
+        # Names of the methods the *previous* run's profiler wrapped (see
+        # ``_reset``); only these are unwound, never unrelated overrides.
+        self._profiled_wrapped: tuple[str, ...] = ()
         # Child engines in parallel workers see a single shard's sparse id
         # stream, which would blow the contiguous-prefix watermark of
         # _SeenIds into a set; the parent validates the full dense stream
@@ -430,16 +464,24 @@ class ServiceEngine:
         self._local_amps: dict[int, dict[int, complex]] = {}
         self._copies: dict[int, int] = {}
         self._outputs: dict[int, dict[tuple[int, int], complex]] = {}
+        # Read once per run: the hot path branches on these every event.
+        self._functional = bool(fleet.functional)
+        # Whether any admitted request carried a fidelity SLO this run.
+        # Gates the per-window SLO re-validation and batch capping — both
+        # no-ops (and re-derivable from the queue) while this is False.
+        self._slo_seen = False
+        # Frozen per-shard events are reusable singletons: one WindowStart
+        # / WindowDrain per shard and one ClientThink per client serve the
+        # whole run instead of one allocation per event.
+        self._start_events = [WindowStart(shard) for shard in range(num_shards)]
+        self._drain_events = [WindowDrain(shard) for shard in range(num_shards)]
+        self._think_events: dict[int, ClientThink] = {}
         # The observation path: per-stream sinks + the online aggregates.
         self._served_sink = self._make_sink(0)
         self._window_sink = self._make_sink(1)
         self._rejected_sink = self._make_sink(2)
         self._scale_sink = self._make_sink(3)
         self._aggregator = StreamingServiceAggregator()
-        # Memoized per-(shard, occupancy) fidelity predictions (satellite:
-        # the hot path called backend.predicted_window_fidelities
-        # O(queue x copies) per window); invalidated on fleet changes.
-        self._fidelity_cache: dict[tuple[int, int], tuple[float, ...]] = {}
         # Traffic events (arrivals / thinks / window starts / drains) still
         # in the heap — the liveness signal recurring ticks (ScaleCheck,
         # TelemetryTick) use to decide whether to reschedule without
@@ -464,6 +506,27 @@ class ServiceEngine:
         self._tick_fidelity_total = 0.0
         self._tick_fidelity_count = 0
         self._now = 0.0
+        # Profiling wraps bound methods in per-stage counters.  The
+        # wrappers live in the instance __dict__, so exactly the ones a
+        # previous run installed are dropped first — engines are reusable
+        # and a second profiled run must not double-wrap the first run's
+        # wrappers (and an unrelated instance-level override, e.g. a test
+        # stub, must survive untouched).
+        for name in self._profiled_wrapped:
+            self.__dict__.pop(name, None)
+        self._profiled_wrapped = ()
+        self._profiler: HotPathProfiler | None = None
+        if self.profile:
+            profiler = HotPathProfiler()
+            self._profiler = profiler
+            for stage, name in _PROFILED_STAGES:
+                setattr(self, name, profiler.timed(stage, getattr(self, name)))
+            self._profiled_wrapped = tuple(
+                name for _, name in _PROFILED_STAGES
+            )
+            self._heap.push = profiler.timed(  # type: ignore[method-assign]
+                "heap_push", self._heap.push
+            )
 
     def run(self, source: WorkloadSource, clops: float = 1.0e6) -> ServiceReport:
         """Serve one workload to completion and report what happened.
@@ -524,35 +587,45 @@ class ServiceEngine:
         if self.telemetry_interval is not None:
             self._heap.push(self.telemetry_interval, TelemetryTick())
 
-        while self._heap:
-            now, event = self._heap.pop()
-            if self.sanitize:
+        # The drain loop is the innermost hot loop of every run: bind the
+        # heap and its pop once, branch on exact event classes (events are
+        # final dataclasses, ordered here by serving frequency), and keep
+        # the sanitizer check behind one cached flag.
+        heap = self._heap
+        pop = heap.pop
+        if self._profiler is not None:
+            pop = self._profiler.timed("heap_pop", pop)
+        sanitize = self.sanitize
+        while heap:
+            now, event = pop()
+            cls = event.__class__
+            if sanitize:
                 if now < self._now:
                     raise SanitizerViolation(
                         f"virtual clock moved backwards: popped "
-                        f"{type(event).__name__} at {now} after {self._now}"
+                        f"{cls.__name__} at {now} after {self._now}"
                     )
-                if isinstance(event, WindowDrain):
+                if cls is WindowDrain:
                     self._check_conservation(now)
             self._now = now
-            if isinstance(event, Arrival):
-                self._traffic_events -= 1
-                self._on_arrival(now, event.request)
-            elif isinstance(event, ClientThink):
+            if cls is ClientThink:
                 self._traffic_events -= 1
                 request = source.next_request(event.client_id, now)
                 if request is not None:
                     self._on_arrival(now, request)
-            elif isinstance(event, WindowDrain):
+            elif cls is Arrival:
+                self._traffic_events -= 1
+                self._on_arrival(now, event.request)
+            elif cls is WindowDrain:
                 self._traffic_events -= 1
                 self._maybe_start(event.shard, now)
-            elif isinstance(event, ScaleCheck):
-                self._on_scale_check(now)
-            elif isinstance(event, TelemetryTick):
-                self._on_telemetry_tick(now)
-            elif isinstance(event, WindowStart):
+            elif cls is WindowStart:
                 self._traffic_events -= 1
                 self._on_window_start(now, event.shard)
+            elif cls is ScaleCheck:
+                self._on_scale_check(now)
+            elif cls is TelemetryTick:
+                self._on_telemetry_tick(now)
 
         if self.telemetry_interval is not None and (
             self._tick_arrivals
@@ -629,6 +702,9 @@ class ServiceEngine:
             telemetry=self._telemetry,
             retention=self.retention,
             parallel=parallel_info,
+            profile=(
+                self._profiler.snapshot() if self._profiler is not None else None
+            ),
         )
 
     # ----------------------------------------------- source-facing scheduling
@@ -652,7 +728,10 @@ class ServiceEngine:
     def schedule_think(self, client_id: int, time: float) -> None:
         """Schedule a closed-loop client's next issue instant."""
         self._traffic_events += 1
-        self._heap.push(max(0.0, time), ClientThink(client_id))
+        event = self._think_events.get(client_id)
+        if event is None:
+            event = self._think_events[client_id] = ClientThink(client_id)
+        self._heap.push(max(0.0, time), event)
 
     # ------------------------------------------------------------ recording
     def _record_served(self, record: ServedQuery) -> None:
@@ -730,28 +809,33 @@ class ServiceEngine:
         if self.max_queue_depth is not None and len(queue) >= self.max_queue_depth:
             self._reject(request, shard, now, REJECT_QUEUE_FULL)
             return
-        self._copies[request.query_id] = copies
-        self._local_amps[request.query_id] = local
+        if request.min_fidelity is not None:
+            self._slo_seen = True
+        # Per-query routing state is only tracked when a downstream reader
+        # exists: copy counts matter past 1 (readers default to 1), local
+        # amplitudes only reach the backend on functional windows.
+        if copies != 1:
+            self._copies[request.query_id] = copies
+        if self._functional:
+            self._local_amps[request.query_id] = local
         queue.append(request)
-        self._max_depth[shard] = max(self._max_depth[shard], len(queue))
+        depth = len(queue)
+        if depth > self._max_depth[shard]:
+            self._max_depth[shard] = depth
         self._maybe_start(shard, now)
 
     def _predicted_fidelities(self, shard: int, occupancy: int) -> tuple[float, ...]:
-        """Memoized ``backend.predicted_window_fidelities(occupancy)``.
+        """``backend.predicted_window_fidelities(occupancy)`` for one shard.
 
-        The admission hot path evaluates the same small set of
-        ``(shard, occupancy)`` predictions for every arrival and every
-        window (O(queue x copies) backend calls per window before
-        memoization).  The cache is invalidated whenever the fleet
-        changes — scale-up building or reactivating a replica — and at the
-        start of every run.
+        Memoization lives with the backend now, not the engine: every
+        backend keeps an instance memo and shares the derived vectors
+        through the process-wide
+        :class:`~repro.schedule_cache.ScheduleCacheRegistry`, so
+        autoscaled replicas and forked workers inherit warm predictions
+        and an engine-level cache (with its fleet-change invalidation
+        hazard) has nothing left to add.
         """
-        key = (shard, occupancy)
-        cached = self._fidelity_cache.get(key)
-        if cached is None:
-            cached = self._backends[shard].predicted_window_fidelities(occupancy)
-            self._fidelity_cache[key] = cached
-        return cached
+        return self._backends[shard].predicted_window_fidelities(occupancy)
 
     def _feasible_copies(self, shard: int, request: QueryRequest) -> int | None:
         """Fewest parallel copies that lift the shard's predicted fidelity
@@ -822,7 +906,7 @@ class ServiceEngine:
         ):
             self._window_pending[shard] = True
             self._traffic_events += 1
-            self._heap.push(now, WindowStart(shard))
+            self._heap.push(now, self._start_events[shard])
 
     def _on_window_start(self, now: float, shard: int) -> None:
         self._window_pending[shard] = False
@@ -841,12 +925,16 @@ class ServiceEngine:
                 else:
                     kept.append(request)
             queue[:] = kept
-        if any(request.min_fidelity is not None for request in queue):
+        if self._slo_seen and any(
+            request.min_fidelity is not None for request in queue
+        ):
             # Re-validate fidelity SLOs against *this* shard: rebalancing
             # may have migrated a request admitted elsewhere.  A request
             # this shard cannot serve is refused rather than silently run
             # below its target; feasible ones get their copy count pinned
-            # to this shard's prediction.
+            # to this shard's prediction.  (``_slo_seen`` gates the queue
+            # scan itself: a run that never admitted an SLO has nothing to
+            # re-validate.)
             kept = []
             for request in queue:
                 copies = self._feasible_copies(shard, request)
@@ -859,7 +947,8 @@ class ServiceEngine:
         if not queue:
             return
         batch = self.fleet.policy.select(queue, self._window_sizes[shard], now)
-        batch = self._cap_batch_for_fidelity(shard, batch, queue)
+        if self._slo_seen:
+            batch = self._cap_batch_for_fidelity(shard, batch, queue)
         self._execute_window(shard, batch, now)
 
     def _cap_batch_for_fidelity(
@@ -906,31 +995,53 @@ class ServiceEngine:
                 f"{self._busy_until[shard]}, admitted at {admit}"
             )
         backend = self._backends[shard]
-        local_requests = [
-            QueryRequest(
-                query_id=request.query_id,
-                address_amplitudes=self._local_amps[request.query_id],
-                request_time=request.request_time,
-                qpu=request.qpu,
-                initial_bus=request.initial_bus,
-                priority=request.priority,
+        functional = self._functional
+        if functional:
+            local_requests = [
+                QueryRequest(
+                    query_id=request.query_id,
+                    address_amplitudes=self._local_amps[request.query_id],
+                    request_time=request.request_time,
+                    qpu=request.qpu,
+                    initial_bus=request.initial_bus,
+                    priority=request.priority,
+                )
+                for request in batch
+            ]
+        else:
+            # Timing-only windows never read per-request state (every
+            # adapter serves them from its memoized timing window), so the
+            # shard-local renumbered copies would be pure allocation.
+            local_requests = batch
+        profiler = self._profiler
+        if profiler is None:
+            result = backend.run_window(local_requests, functional=functional)
+        else:
+            result = profiler.call(
+                "run_window", backend.run_window, local_requests,
+                functional=functional,
             )
-            for request in batch
-        ]
-        result = backend.run_window(local_requests, functional=self.fleet.functional)
-        predictions = self._batch_predictions(shard, batch)
+        copies_map = self._copies
+        if copies_map:
+            predictions = self._batch_predictions(shard, batch)
+        else:
+            # No in-flight distillation: the window's predictions are the
+            # backend's occupancy vector verbatim (one copy per slot, and
+            # distillation at one copy is the identity).
+            predictions = self._predicted_fidelities(shard, len(batch))
 
+        keep_outputs = functional and self.retention == "full"
         for slot, request in enumerate(batch):
             # Functional outputs are per-request state the report keys by
             # query id — retaining them for every query is exactly the
             # unbounded growth the sampled / none modes exist to avoid.
-            if result.outputs[slot] is not None and self.retention == "full":
+            if keep_outputs and result.outputs[slot] is not None:
                 self._outputs[request.query_id] = self.fleet.shard_map.to_global_outputs(
                     shard, result.outputs[slot]
                 )
-            copies = self._copies.get(request.query_id, 1)
+            copies = copies_map.get(request.query_id, 1) if copies_map else 1
             slot_fidelity = result.fidelities[slot]
-            record = ServedQuery(
+            record = ServedQuery._from_fields(
                 query_id=request.query_id,
                 tenant=request.qpu,
                 shard=shard,
@@ -941,8 +1052,8 @@ class ServiceEngine:
                 # Distillation delivers the distilled state: its suppression
                 # applies to the slot's quality, measured or predicted.
                 fidelity=(
-                    None
-                    if slot_fidelity is None
+                    slot_fidelity
+                    if copies == 1 or slot_fidelity is None
                     else _distilled(slot_fidelity, copies)
                 ),
                 architecture=backend.name,
@@ -955,10 +1066,17 @@ class ServiceEngine:
             self._source.on_completion(self, record)
         # Distillation copies are extra admissions into the same window:
         # each one keeps the backend busy for one more admission interval.
-        extra_copies = sum(self._copies.get(r.query_id, 1) - 1 for r in batch)
-        total_layers = result.total_layers + float(extra_copies * result.interval)
+        if copies_map:
+            extra_copies = sum(
+                copies_map.get(r.query_id, 1) - 1 for r in batch
+            )
+        else:
+            extra_copies = 0
+        total_layers = result.total_layers
+        if extra_copies:
+            total_layers += float(extra_copies * result.interval)
         self._record_window(
-            WindowRecord(
+            WindowRecord._from_fields(
                 shard=shard,
                 admit_layer=admit,
                 batch_size=len(batch),
@@ -970,12 +1088,16 @@ class ServiceEngine:
         # The per-query routing state is dead once the window is recorded;
         # dropping it keeps the engine's footprint independent of how many
         # requests a run serves.
-        for request in batch:
-            self._copies.pop(request.query_id, None)
-            self._local_amps.pop(request.query_id, None)
-        self._busy_until[shard] = admit + total_layers
+        if copies_map:
+            for request in batch:
+                copies_map.pop(request.query_id, None)
+        if self._local_amps:
+            for request in batch:
+                self._local_amps.pop(request.query_id, None)
+        busy = admit + total_layers
+        self._busy_until[shard] = busy
         self._traffic_events += 1
-        self._heap.push(self._busy_until[shard], WindowDrain(shard))
+        self._heap.push(busy, self._drain_events[shard])
 
     # -------------------------------------------------------------- sanitizer
     def _check_conservation(self, now: float) -> None:
@@ -1154,10 +1276,12 @@ class ServiceEngine:
             self._window_pending.append(False)
             self._active.append(True)
             self._max_depth[shard] = 0
-        # The fleet changed: memoized predictions may refer to retired or
-        # rebuilt replicas, so drop them wholesale (they re-fill on the
-        # next admissions).
-        self._fidelity_cache.clear()
+            self._start_events.append(WindowStart(shard))
+            self._drain_events.append(WindowDrain(shard))
+        # No prediction cache to invalidate here: predictions are memoized
+        # on the backends themselves (shared through the schedule-cache
+        # registry), so a rebuilt or reactivated replica carries its own
+        # warm, correct vectors.
         self._record_scale(
             ScaleEvent(
                 time=now,

@@ -72,6 +72,7 @@ from repro.metrics.streaming import (
     StreamingServiceAggregator,
     merge_service_aggregators,
 )
+from repro.perf.profiler import StageProfile
 
 if TYPE_CHECKING:
     from repro.engine.core import ServiceEngine, ServiceReport
@@ -105,6 +106,7 @@ class _ShardOutcome:
     max_depth: int
     aggregator: StreamingServiceAggregator
     telemetry_raw: list[_RawInterval]
+    profile: StageProfile | None = None
 
 
 def _run_shard(
@@ -151,6 +153,7 @@ def _run_shard(
         sink=None,
         sanitize=engine.sanitize,
         workers=0,
+        profile=engine.profile,
     )
     child._dedupe = False
     child._run_events(source)
@@ -165,6 +168,9 @@ def _run_shard(
         max_depth=child._max_depth.get(shard, 0),
         aggregator=child._aggregator,
         telemetry_raw=list(child._telemetry_raw),
+        profile=(
+            child._profiler.snapshot() if child._profiler is not None else None
+        ),
     )
 
 
@@ -447,6 +453,12 @@ def run_partitioned(
         if engine.telemetry_interval is not None
         else []
     )
+    profile: StageProfile | None = None
+    if engine.profile:
+        profile = StageProfile()
+        for outcome in outcomes:
+            if outcome.profile is not None:
+                profile = profile.merged(outcome.profile)
     return Report(
         served=served,
         windows=windows,
@@ -462,4 +474,5 @@ def run_partitioned(
             fallback_reason=None,
             worker_seconds=worker_seconds,
         ),
+        profile=profile,
     )

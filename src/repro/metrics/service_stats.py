@@ -65,6 +65,21 @@ class ServedQuery:
     min_fidelity: float | None = None
     distillation_copies: int = 1
 
+    @classmethod
+    def _from_fields(cls, **fields: object) -> ServedQuery:
+        """Allocation-lean constructor for the serving hot path.
+
+        A frozen dataclass pays one guarded ``object.__setattr__`` per
+        field in ``__init__``; populating the instance dict directly cuts
+        the per-record cost to a fraction (pinned faster-path-equal in
+        tests).  Callers must pass **every** field — no defaults are
+        applied — and get back an instance indistinguishable from the
+        normal constructor's (same equality, hash, pickle, ``asdict``).
+        """
+        record = object.__new__(cls)
+        record.__dict__.update(fields)
+        return record
+
     @property
     def latency_layers(self) -> float:
         """Request-to-finish latency (queueing + service), raw layers."""
@@ -169,6 +184,14 @@ class WindowRecord:
     interval: int
     total_layers: float
     architecture: str = ""
+
+    @classmethod
+    def _from_fields(cls, **fields: object) -> WindowRecord:
+        """Allocation-lean constructor (see :meth:`ServedQuery._from_fields`);
+        callers must pass every field."""
+        record = object.__new__(cls)
+        record.__dict__.update(fields)
+        return record
 
 
 @dataclass(frozen=True)

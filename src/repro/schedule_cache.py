@@ -27,9 +27,21 @@ table keyed by ``(kind, capacity, memory image, distance)``:
   schedule differs at equal capacity (bare architectures use 0; encoded
   backends today wrap a bare inner backend, which keys itself).
 
-Per-window occupancy does not appear in the key: each executor already
-memoizes its schedule / lowering / interval caches per occupancy
+Per-window occupancy does not appear in the executor key: each executor
+already memoizes its schedule / lowering / interval caches per occupancy
 internally, so sharing the executor shares those too.
+
+Alongside the executors the registry holds a second, finer-grained table
+of **per-occupancy fidelity vectors** — the analytic per-slot predictions
+of :mod:`repro.backends.noise`, keyed ``(arch, capacity, occupancy,
+distance, extra)`` where ``extra`` is the backend's hashable prediction
+profile (noise parameters plus structural counts).  Predictions are
+independent of the memory image, so the key carries no data: a
+``write_memory`` never stales a shared vector, and write-invalidation
+only drops the writing backend's instance memos.  Fleet-build prewarming
+(:meth:`ScheduleCacheRegistry.prewarm`) derives both tables once per
+configuration, so autoscaled replicas and forked workers inherit warm
+predictions as well as warm schedules.
 
 The registry is *per process*.  The parallel serving core pre-warms it at
 fleet build, before worker processes fork, so every worker inherits the
@@ -42,7 +54,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Hashable, Iterable, Sequence
 from dataclasses import dataclass
 from typing import Any
 
@@ -53,8 +65,11 @@ __all__ = [
     "shared_executor",
 ]
 
-#: One cache entry key: (kind, capacity, memory image, distance).
+#: One executor entry key: (kind, capacity, memory image, distance).
 _Key = tuple[str, int, tuple[int, ...], int]
+
+#: One fidelity-vector key: (arch, capacity, occupancy, distance, profile).
+_FidelityKey = tuple[str, int, int, int, Hashable]
 
 
 @dataclass(frozen=True)
@@ -67,6 +82,9 @@ class CacheStats:
         prewarms: executors warmed eagerly at fleet build / worker spawn.
         invalidations: backend-local executor pointers dropped by writes.
         entries: executors currently in the table.
+        fidelity_hits: per-occupancy fidelity vectors served shared.
+        fidelity_misses: fidelity vectors derived fresh.
+        fidelity_entries: fidelity vectors currently in the table.
     """
 
     hits: int = 0
@@ -74,6 +92,9 @@ class CacheStats:
     prewarms: int = 0
     invalidations: int = 0
     entries: int = 0
+    fidelity_hits: int = 0
+    fidelity_misses: int = 0
+    fidelity_entries: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -91,18 +112,30 @@ class ScheduleCacheRegistry:
             here).
     """
 
-    def __init__(self, max_entries: int = 64) -> None:
+    def __init__(
+        self, max_entries: int = 64, max_fidelity_entries: int = 4096
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if max_fidelity_entries < 1:
+            raise ValueError("max_fidelity_entries must be >= 1")
         self.max_entries = max_entries
+        self.max_fidelity_entries = max_fidelity_entries
         self._entries: OrderedDict[_Key, Any] = OrderedDict()
-        # Guards the table for same-process concurrent use; forked workers
+        # Fidelity vectors are tiny tuples, so their table is bounded far
+        # looser than the executor table.
+        self._fidelity_vectors: OrderedDict[
+            _FidelityKey, tuple[float, ...]
+        ] = OrderedDict()
+        # Guards the tables for same-process concurrent use; forked workers
         # each get their own (unlocked) copy of the registry.
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._prewarms = 0
         self._invalidations = 0
+        self._fidelity_hits = 0
+        self._fidelity_misses = 0
 
     @staticmethod
     def _key(
@@ -142,6 +175,42 @@ class ScheduleCacheRegistry:
                 self._entries.popitem(last=False)
         return built
 
+    def fidelity_vector(
+        self,
+        arch: str,
+        capacity: int,
+        occupancy: int,
+        factory: Callable[[int], tuple[float, ...]],
+        distance: int = 0,
+        extra: Hashable = None,
+    ) -> tuple[float, ...]:
+        """The shared per-occupancy fidelity vector of one configuration.
+
+        Keyed ``(arch, capacity, occupancy, distance, extra)``; ``extra``
+        must carry everything else the prediction depends on (noise
+        parameters, structural counts) so equal keys imply equal vectors.
+        ``factory(occupancy)`` derives the vector on first use; replicas
+        of the same configuration — autoscaled, rebuilt, or forked —
+        resolve to the shared tuple afterwards.
+        """
+        key = (arch, capacity, occupancy, distance, extra)
+        with self._lock:
+            entry = self._fidelity_vectors.get(key)
+            if entry is not None:
+                self._fidelity_vectors.move_to_end(key)
+                self._fidelity_hits += 1
+                return entry
+            self._fidelity_misses += 1
+        built = factory(occupancy)
+        with self._lock:
+            # A concurrent builder may have raced us; last insert wins and
+            # both callers hold equal vectors (the key determines them).
+            self._fidelity_vectors[key] = built
+            self._fidelity_vectors.move_to_end(key)
+            while len(self._fidelity_vectors) > self.max_fidelity_entries:
+                self._fidelity_vectors.popitem(last=False)
+        return built
+
     def prewarm(self, backends: Iterable[Any]) -> int:
         """Warm every backend's schedule caches through the registry.
 
@@ -176,10 +245,13 @@ class ScheduleCacheRegistry:
         """Drop every entry and reset the counters (test isolation)."""
         with self._lock:
             self._entries.clear()
+            self._fidelity_vectors.clear()
             self._hits = 0
             self._misses = 0
             self._prewarms = 0
             self._invalidations = 0
+            self._fidelity_hits = 0
+            self._fidelity_misses = 0
 
     def stats(self) -> CacheStats:
         """A consistent snapshot of the registry counters."""
@@ -190,6 +262,9 @@ class ScheduleCacheRegistry:
                 prewarms=self._prewarms,
                 invalidations=self._invalidations,
                 entries=len(self._entries),
+                fidelity_hits=self._fidelity_hits,
+                fidelity_misses=self._fidelity_misses,
+                fidelity_entries=len(self._fidelity_vectors),
             )
 
     def __len__(self) -> int:

@@ -212,6 +212,7 @@ class QRAMService:
         telemetry_interval: float | None = None,
         sink=None,
         workers: int | None = None,
+        profile: bool | None = None,
     ) -> ServiceReport:
         """Serve any workload source with the full engine surface.
 
@@ -251,6 +252,11 @@ class QRAMService:
                 ``report.parallel``.  ``0`` forces single-process;
                 ``None`` defers to the ``REPRO_WORKERS`` environment
                 variable.  See :class:`repro.engine.ServiceEngine`.
+            profile: hot-path stage profiling — the run lands a
+                :class:`~repro.perf.profiler.StageProfile` table on the
+                report's ``profile`` field (observational; the report is
+                otherwise identical).  ``None`` defers to the
+                ``REPRO_PROFILE`` environment variable.
         """
         engine = ServiceEngine(
             self,
@@ -264,5 +270,6 @@ class QRAMService:
             telemetry_interval=telemetry_interval,
             sink=sink,
             workers=workers,
+            profile=profile,
         )
         return engine.run(source, clops=clops)

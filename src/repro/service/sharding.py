@@ -106,6 +106,15 @@ class InterleavedShardMap:
         """
         if not address_amplitudes:
             raise ValueError("empty address superposition")
+        if len(address_amplitudes) == 1:
+            # Single-address queries cannot span shards; skip the set
+            # machinery the general validation needs.
+            (address,) = address_amplitudes
+            self._check(address)
+            num_shards = self.num_shards
+            return address % num_shards, {
+                address // num_shards: address_amplitudes[address]
+            }
         shards = {self.shard_of(a) for a in address_amplitudes}
         if len(shards) != 1:
             raise ValueError(

@@ -13,6 +13,11 @@ from repro.core.query import QueryRequest
 from repro.engine.workload import ClosedLoopClient, ClosedLoopSource
 from repro.workloads.arrivals import iter_burst_times, iter_exponential_times
 
+#: Shard draws per RNG call in :func:`_iter_arrival_trace` — block draws
+#: consume the Generator's stream exactly like scalar draws, so the block
+#: size is a pure speed knob (mirrors ``arrivals._DRAW_BLOCK``).
+_SHARD_DRAW_BLOCK = 4096
+
 
 def random_data(capacity: int, seed: int = 0, density: float = 0.5) -> list[int]:
     """Random classical memory with a given density of 1-bits."""
@@ -57,6 +62,18 @@ def random_address_superposition(
     if not 1 <= num_addresses <= capacity:
         raise ValueError("num_addresses out of range")
     rng = np.random.default_rng(seed)
+    if num_addresses == 1:
+        # Scalar fast path for the single-address draw that dominates
+        # trace generation.  Bit-identical to the array path below —
+        # ``choice(n, size=1, replace=False)`` consumes the stream exactly
+        # like one bounded ``integers`` draw, ``normal()`` like
+        # ``normal(size=1)``, and the norm/division are evaluated with the
+        # same operand types — pinned in tests/test_vectorized_parity.py.
+        address = int(rng.integers(capacity))
+        re = rng.normal()
+        im = rng.normal()
+        norm = math.sqrt(re * re + im * im)
+        return {address: complex(np.complex128(complex(re, im)) / np.float64(norm))}
     addresses = rng.choice(capacity, size=num_addresses, replace=False)
     raw = rng.normal(size=num_addresses) + 1j * rng.normal(size=num_addresses)
     norm = np.linalg.norm(raw)
@@ -131,8 +148,18 @@ def _iter_arrival_trace(
     """
     owned = None if shards is None else frozenset(int(s) for s in shards)
     rng = np.random.default_rng(seed)
+    # Shard draws come in vectorized blocks: a block of n bounded draws
+    # consumes the Generator's stream exactly like n scalar draws (pinned
+    # in tests/test_vectorized_parity.py), so the trace is byte-identical
+    # to the historical per-request draw at a fraction of the RNG cost.
+    shard_draws: list[int] = []
+    draw_index = 0
     for i, t in enumerate(times):
-        shard = int(rng.integers(num_shards))
+        if draw_index == len(shard_draws):
+            shard_draws = rng.integers(num_shards, size=_SHARD_DRAW_BLOCK).tolist()
+            draw_index = 0
+        shard = shard_draws[draw_index]
+        draw_index += 1
         if owned is not None and shard not in owned:
             continue
         yield QueryRequest(

@@ -1,0 +1,271 @@
+"""The hot-path profiler: observational by contract, and the hot-path
+allocation trims it guided.
+
+``REPRO_PROFILE=1`` (or ``ServiceEngine(profile=True)``) must land a
+stage-time table on the report without perturbing a single simulated
+value — the engine wraps its stage methods but never changes them.  These
+tests pin that contract, the profiler/StageProfile mechanics, and the
+bit-exactness of the allocation trims the profile motivated (fast record
+construction, the interleaved route fast path, the unrolled P² update).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro.perf.profiler as profiler_module
+from repro.engine.workload import StreamingTraceSource
+from repro.metrics.service_stats import ServedQuery, WindowRecord, _percentile
+from repro.metrics.streaming import P2Quantile
+from repro.perf import HotPathProfiler, StageProfile, env_profile
+from repro.service.service import QRAMService
+from repro.service.sharding import InterleavedShardMap
+from repro.workloads.generators import iter_poisson_trace
+
+
+def _serve(profile=None, retention="full"):
+    trace = iter_poisson_trace(
+        8, 300, mean_interarrival=14.0, addresses_per_query=1,
+        num_tenants=4, num_shards=2, seed=5,
+    )
+    service = QRAMService(8, num_shards=2, functional=False)
+    return service.serve_workload(
+        StreamingTraceSource(trace),
+        retention=retention,
+        telemetry_interval=2000.0,
+        profile=profile,
+    )
+
+
+# --------------------------------------------------------------------------
+# Observational contract
+# --------------------------------------------------------------------------
+def test_profiled_run_is_observational():
+    """profile=True changes nothing but the report's profile field."""
+    plain = _serve(profile=False)
+    profiled = _serve(profile=True)
+    assert plain.profile is None
+    assert profiled.profile is not None
+    assert profiled.served == plain.served
+    assert profiled.windows == plain.windows
+    assert profiled.stats == plain.stats
+    assert profiled.telemetry == plain.telemetry
+
+
+def test_profile_counts_match_run_shape():
+    """Stage counts equal the run's actual event counts."""
+    report = _serve(profile=True)
+    counts = report.profile.counts
+    assert counts["admission"] == 300
+    assert counts["sketch_update"] == len(report.served) == 300
+    assert counts["window_execute"] == len(report.windows)
+    assert counts["run_window"] == len(report.windows)
+    # No wall clock was injected: counting only, zero seconds.
+    assert not report.profile.timed
+    assert all(spent == 0.0 for spent in report.profile.seconds.values())
+
+
+def test_env_variable_enables_profiling(monkeypatch):
+    monkeypatch.setenv(profiler_module.PROFILE_ENV, "1")
+    assert env_profile()
+    report = _serve(profile=None)
+    assert report.profile is not None
+    monkeypatch.setenv(profiler_module.PROFILE_ENV, "0")
+    assert not env_profile()
+    assert _serve(profile=None).profile is None
+
+
+def test_engine_reusable_after_profiled_run():
+    """A second run on the same engine must not double-count stages."""
+    from repro.engine.core import ServiceEngine
+
+    service = QRAMService(8, num_shards=2, functional=False)
+    engine = ServiceEngine(service, retention="full", profile=True)
+
+    def trace():
+        return iter_poisson_trace(
+            8, 100, mean_interarrival=14.0, addresses_per_query=1,
+            num_tenants=2, num_shards=2, seed=3,
+        )
+
+    first = engine.run(StreamingTraceSource(trace()))
+    second = engine.run(StreamingTraceSource(trace()))
+    assert first.profile.counts == second.profile.counts
+    assert first.stats == second.stats
+
+
+# --------------------------------------------------------------------------
+# Profiler / StageProfile mechanics
+# --------------------------------------------------------------------------
+def test_profiler_counts_without_clock():
+    profiler = HotPathProfiler()
+    work = profiler.timed("stage", lambda x: x + 1)
+    assert work(1) == 2 and work(2) == 3
+    snapshot = profiler.snapshot()
+    assert snapshot.counts == {"stage": 2}
+    assert not snapshot.timed
+
+
+def test_profiler_times_with_injected_clock(monkeypatch):
+    ticks = iter(range(100))
+    monkeypatch.setattr(profiler_module, "host_clock", lambda: float(next(ticks)))
+    profiler = HotPathProfiler()
+    assert profiler.call("once", lambda: "done") == "done"
+    wrapped = profiler.timed("wrapped", lambda: None)
+    wrapped()
+    snapshot = profiler.snapshot()
+    assert snapshot.timed
+    assert snapshot.counts == {"once": 1, "wrapped": 1}
+    assert snapshot.seconds["once"] == 1.0
+    assert snapshot.seconds["wrapped"] == 1.0
+
+
+def test_stage_profile_merge_and_table():
+    first = StageProfile(counts={"a": 2, "b": 1}, seconds={"a": 0.5}, timed=True)
+    second = StageProfile(counts={"a": 3, "c": 4}, seconds={"a": 0.25, "c": 1.0})
+    merged = first.merged(second)
+    assert merged.counts == {"a": 5, "b": 1, "c": 4}
+    assert merged.seconds == {"a": 0.75, "c": 1.0}
+    assert merged.timed
+    table = merged.table()
+    assert "stage" in table and "a" in table and "c" in table
+    assert StageProfile().table() == "(no profiled stages)"
+    assert pickle.loads(pickle.dumps(merged)) == merged
+
+
+# --------------------------------------------------------------------------
+# Hot-path trim parity (profile-guided allocation trims)
+# --------------------------------------------------------------------------
+def test_fast_record_constructors_equal_normal_construction():
+    fields = dict(
+        query_id=7, tenant=1, shard=0, request_time=10.0, admit_layer=12.0,
+        start_layer=13.0, finish_layer=20.0, fidelity=0.99,
+        architecture="Fat-Tree", deadline=None, predicted_fidelity=0.99,
+        min_fidelity=None, distillation_copies=1,
+    )
+    fast = ServedQuery._from_fields(**fields)
+    normal = ServedQuery(**fields)
+    assert fast == normal
+    assert hash(fast) == hash(normal)
+    assert fast.latency_layers == normal.latency_layers
+    assert pickle.loads(pickle.dumps(fast)) == normal
+
+    window_fields = dict(
+        shard=0, admit_layer=5.0, batch_size=4, interval=3,
+        total_layers=30.0, architecture="BB",
+    )
+    assert WindowRecord._from_fields(**window_fields) == WindowRecord(
+        **window_fields
+    )
+
+
+def test_interleaved_route_single_address_fast_path():
+    shard_map = InterleavedShardMap(16, 4)
+    for address in range(16):
+        amplitudes = {address: 0.6 + 0.8j}
+        assert shard_map.route(amplitudes) == (
+            address % 4, {address // 4: 0.6 + 0.8j}
+        )
+    with pytest.raises(ValueError):
+        shard_map.route({16: 1.0})
+    # Multi-address superpositions still validate shard alignment.
+    assert shard_map.route({1: 0.5, 5: 0.5}) == (1, {0: 0.5, 1: 0.5})
+    with pytest.raises(ValueError):
+        shard_map.route({0: 0.5, 1: 0.5})
+
+
+class _ReferenceP2:
+    """The original P² update, verbatim (the pinned oracle for the
+    unrolled hot-path version)."""
+
+    def __init__(self, quantile):
+        self.quantile = quantile
+        self._count = 0
+        self._heights = []
+        self._positions = []
+        self._desired = []
+        self._increments = [
+            0.0, quantile / 2.0, quantile, (1.0 + quantile) / 2.0, 1.0
+        ]
+
+    def add(self, value):
+        self._count += 1
+        heights = self._heights
+        if self._count <= 5:
+            heights.append(value)
+            heights.sort()
+            if self._count == 5:
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0 + 4.0 * inc for inc in self._increments]
+            return
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 3
+            for i in range(1, 4):
+                if value < heights[i]:
+                    cell = i - 1
+                    break
+        positions = self._positions
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if delta > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if not heights[i - 1] < candidate < heights[i + 1]:
+                    candidate = self._linear(i, step)
+                heights[i] = candidate
+                positions[i] += step
+
+    def _parabolic(self, i, step):
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i, step):
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    @property
+    def value(self):
+        if not self._count:
+            return 0.0
+        if self._count <= 5:
+            return _percentile(self._heights, self.quantile * 100.0)
+        return self._heights[2]
+
+
+@pytest.mark.parametrize("quantile", [0.5, 0.9, 0.95, 0.99])
+def test_p2_unrolled_update_bitwise_parity(quantile):
+    """The unrolled P² add matches the original loop state for state."""
+    import numpy as np
+
+    rng = np.random.default_rng(42)
+    optimized = P2Quantile(quantile)
+    reference = _ReferenceP2(quantile)
+    for value in rng.exponential(25.0, size=5000).tolist():
+        optimized.add(value)
+        reference.add(value)
+    assert [h.hex() for h in optimized._heights] == [
+        h.hex() for h in reference._heights
+    ]
+    assert optimized._positions == reference._positions
+    assert [d.hex() for d in optimized._desired] == [
+        d.hex() for d in reference._desired
+    ]
+    assert optimized.value.hex() == reference.value.hex()

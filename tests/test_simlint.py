@@ -30,7 +30,7 @@ def codes(result):
 
 
 # -------------------------------------------------------------------- registry
-def test_all_seven_rules_registered():
+def test_all_eight_rules_registered():
     assert sorted(all_rules()) == [
         "SIM001",
         "SIM002",
@@ -39,6 +39,7 @@ def test_all_seven_rules_registered():
         "SIM005",
         "SIM006",
         "SIM007",
+        "SIM008",
     ]
 
 
@@ -389,6 +390,89 @@ def test_sim007_clean_registry_and_stable_seeds():
         rules=["SIM007"],
     )
     assert result.ok, [f.message for f in result.findings]
+
+
+# --------------------------------------------------------------------- SIM008
+_HOT_LOOP_ITERATION = (
+    "def window_fidelities(start_offsets, finish_offsets):\n"
+    "    out = []\n"
+    "    for start, finish in zip(start_offsets, finish_offsets):\n"
+    "        out.append(finish - start)\n"
+    "    return out\n"
+)
+
+_HOT_LOOP_INDEXING = (
+    "def window_fidelities(start_offsets, finish_offsets):\n"
+    "    out = []\n"
+    "    for s in range(len(start_offsets)):\n"
+    "        out.append(finish_offsets[s] - start_offsets[s])\n"
+    "    return out\n"
+)
+
+
+def test_sim008_flags_slot_loops_in_hot_modules():
+    for fixture in (_HOT_LOOP_ITERATION, _HOT_LOOP_INDEXING):
+        result = lint_source(fixture, filename="noise.py", rules=["SIM008"])
+        assert codes(result) == ["SIM008"], fixture
+        assert "array expression" in result.findings[0].message
+
+
+def test_sim008_flags_slot_comprehension():
+    result = lint_source(
+        "def degrade(fidelities, penalty):\n"
+        "    return tuple(f * penalty for f in fidelities)\n",
+        filename="analytic.py",
+        rules=["SIM008"],
+    )
+    assert codes(result) == ["SIM008"]
+
+
+def test_sim008_ignores_modules_outside_the_hot_set():
+    result = lint_source(_HOT_LOOP_ITERATION, rules=["SIM008"])
+    assert result.ok
+    result = lint_source(
+        _HOT_LOOP_INDEXING, filename="service.py", rules=["SIM008"]
+    )
+    assert result.ok
+
+
+def test_sim008_exempts_pinned_scalar_oracles():
+    exempt = _HOT_LOOP_INDEXING.replace(
+        "def window_fidelities(", "def window_fidelities_scalar("
+    )
+    assert lint_source(exempt, filename="noise.py", rules=["SIM008"]).ok
+    reference = _HOT_LOOP_ITERATION.replace(
+        "def window_fidelities(", "def offsets_reference("
+    )
+    assert lint_source(reference, filename="fat_tree.py", rules=["SIM008"]).ok
+
+
+def test_sim008_clean_non_slot_loops_and_vector_math():
+    result = lint_source(
+        "import numpy as np\n"
+        "def run_window(requests):\n"
+        "    outputs = [execute(request) for request in requests]\n"
+        "    for occupancy in range(1, 4):\n"
+        "        warm(occupancy)\n"
+        "    return outputs\n"
+        "def vectorized(start_offsets, finish_offsets):\n"
+        "    starts = np.asarray(start_offsets)\n"
+        "    return np.asarray(finish_offsets) - starts\n",
+        filename="encoded.py",
+        rules=["SIM008"],
+    )
+    assert result.ok, [f.message for f in result.findings]
+
+
+def test_sim008_suppressible_per_line():
+    suppressed = (
+        "def interleave(fidelities):\n"
+        "    for f in fidelities:  # simlint: disable=SIM008\n"
+        "        emit(f)\n"
+    )
+    result = lint_source(suppressed, filename="noise.py", rules=["SIM008"])
+    assert result.ok
+    assert result.suppressed == 1
 
 
 # ------------------------------------------------------------------ framework

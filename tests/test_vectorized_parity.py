@@ -1,0 +1,280 @@
+"""Bit-identity pins for the vectorized window hot path.
+
+The serving hot path evaluates all of a window's slots in single array
+expressions (:func:`repro.backends.noise.pipelined_fidelities`, the
+adapters' ``_window_offsets``) and generates traces through scalar/block
+RNG fast paths.  Every one of those rewrites carries an evaluation-order
+contract: the vectorized result must equal the original scalar loop **bit
+for bit**, so recorded trajectories (makespans, fidelities, percentiles)
+stay byte-identical across the optimization.  This module pins that
+contract:
+
+* vectorized vs scalar ``pipelined_fidelities`` across every registered
+  architecture, encoded variants included, at every window occupancy;
+* a property-style sweep over randomized window shapes;
+* an end-to-end serve with the scalar oracle substituted for the
+  vectorized kernel — full retention, every record compared;
+* the trace generators' scalar fast path (single-address draws) and
+  block shard draws against the historical per-request draws.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends.noise import (
+    pipelined_fidelities,
+    pipelined_fidelities_scalar,
+)
+from repro.baselines.registry import build_backend
+from repro.engine.workload import StreamingTraceSource
+from repro.schedule_cache import default_registry
+from repro.service.service import QRAMService
+from repro.workloads.generators import (
+    iter_poisson_trace,
+    random_address_superposition,
+    shard_aligned_superposition,
+)
+from repro.workloads.arrivals import iter_exponential_times
+from repro.core.query import QueryRequest
+
+#: Every registered architecture plus encoded variants at two distances —
+#: the full set of `_window_offsets` / `_infidelity_bounds` combinations
+#: the serving layer can produce.
+ALL_ARCHITECTURES = [
+    "Fat-Tree",
+    "BB",
+    "Virtual",
+    "D-Fat-Tree",
+    "D-BB",
+    "Fat-Tree@d3",
+    "BB@d3",
+    "Virtual@d5",
+    "D-Fat-Tree@d5",
+    "D-BB@d3",
+]
+
+
+def _bits(values):
+    """Floats as IEEE-754 hex strings: equality means bitwise identity."""
+    return [float(v).hex() for v in values]
+
+
+# --------------------------------------------------------------------------
+# pipelined_fidelities: vectorized == scalar oracle
+# --------------------------------------------------------------------------
+@pytest.mark.parametrize("architecture", ALL_ARCHITECTURES)
+@pytest.mark.parametrize("capacity", [8, 32])
+def test_pipelined_fidelities_bitwise_parity(architecture, capacity):
+    """Vectorized kernel == scalar loop on every backend's real offsets."""
+    backend = build_backend(architecture, capacity, [0] * capacity)
+    base, crosstalk = backend._infidelity_bounds(backend.parameters)
+    occupancies = range(1, min(backend.query_parallelism, 16) + 1)
+    for occupancy in occupancies:
+        _, _, starts, finishes = backend._window_offsets(occupancy)
+        vectorized = pipelined_fidelities(base, crosstalk, starts, finishes)
+        scalar = pipelined_fidelities_scalar(base, crosstalk, starts, finishes)
+        assert _bits(vectorized) == _bits(scalar), (
+            f"{architecture} capacity={capacity} occupancy={occupancy}"
+        )
+
+
+@pytest.mark.parametrize("architecture", ALL_ARCHITECTURES)
+def test_predicted_fidelities_identical_across_replicas(architecture):
+    """Two replicas of one configuration predict identical vectors.
+
+    The registry shares one derived per-occupancy vector across replicas;
+    a replica that bypassed the registry must still compute the same
+    values (the factory is deterministic), so the tuples agree exactly.
+    """
+    capacity = 8
+    first = build_backend(architecture, capacity, [0] * capacity)
+    second = build_backend(architecture, capacity, [0] * capacity)
+    for occupancy in range(1, min(first.query_parallelism, 8) + 1):
+        assert first.predicted_window_fidelities(occupancy) == (
+            second._compute_window_fidelities(occupancy)
+        )
+
+
+def test_pipelined_fidelities_random_window_sweep():
+    """Property-style sweep: random window shapes, bitwise parity."""
+    rng = np.random.default_rng(1234)
+    for _ in range(300):
+        count = int(rng.integers(1, 40))
+        starts = np.round(rng.uniform(0.0, 50.0, size=count), 3)
+        lifetimes = np.round(rng.uniform(1.0, 30.0, size=count), 3)
+        finishes = starts + lifetimes
+        base = float(rng.uniform(0.0, 0.02))
+        crosstalk = float(rng.uniform(0.0, 1e-4))
+        vectorized = pipelined_fidelities(
+            base, crosstalk, tuple(starts), tuple(finishes)
+        )
+        scalar = pipelined_fidelities_scalar(
+            base, crosstalk, tuple(starts), tuple(finishes)
+        )
+        assert _bits(vectorized) == _bits(scalar)
+
+
+def test_end_to_end_serve_matches_scalar_oracle(monkeypatch):
+    """A full-retention serve is record-identical under the scalar kernel.
+
+    The scalar oracle is substituted for the vectorized kernel everywhere
+    it is referenced, all shared caches are dropped, and the same trace is
+    served again: every served record, window record and summary statistic
+    must match the vectorized run exactly.
+    """
+    import repro.backends.analytic as analytic
+    import repro.backends.noise as noise
+
+    def serve():
+        trace = iter_poisson_trace(
+            8, 400, mean_interarrival=14.0, addresses_per_query=1,
+            num_tenants=4, num_shards=2, seed=5,
+        )
+        service = QRAMService(8, num_shards=2, functional=False)
+        return service.serve_workload(
+            StreamingTraceSource(trace), retention="full"
+        )
+
+    default_registry().clear()
+    vectorized = serve()
+    monkeypatch.setattr(noise, "pipelined_fidelities", pipelined_fidelities_scalar)
+    monkeypatch.setattr(
+        analytic, "pipelined_fidelities", pipelined_fidelities_scalar
+    )
+    default_registry().clear()
+    scalar = serve()
+    default_registry().clear()
+
+    assert scalar.served == vectorized.served
+    assert scalar.windows == vectorized.windows
+    assert scalar.stats == vectorized.stats
+
+
+# --------------------------------------------------------------------------
+# Trace generators: scalar fast paths == historical array draws
+# --------------------------------------------------------------------------
+def _superposition_reference(capacity, num_addresses, seed):
+    """The historical array-path draw, verbatim (the pinned oracle)."""
+    rng = np.random.default_rng(seed)
+    addresses = rng.choice(capacity, size=num_addresses, replace=False)
+    raw = rng.normal(size=num_addresses) + 1j * rng.normal(size=num_addresses)
+    norm = np.linalg.norm(raw)
+    return {int(a): complex(x / norm) for a, x in zip(addresses, raw)}
+
+
+def _amplitude_bits(amplitudes):
+    return {
+        address: (value.real.hex(), value.imag.hex())
+        for address, value in amplitudes.items()
+    }
+
+
+@pytest.mark.parametrize("capacity", [2, 4, 8, 64, 256])
+def test_single_address_draw_bitwise_parity(capacity):
+    """The ``num_addresses == 1`` scalar fast path matches the array path."""
+    for seed in range(500):
+        fast = random_address_superposition(capacity, 1, seed=seed)
+        reference = _superposition_reference(capacity, 1, seed)
+        assert _amplitude_bits(fast) == _amplitude_bits(reference)
+
+
+def test_multi_address_draw_unchanged():
+    """Draws of more than one address still use the array path verbatim."""
+    for num_addresses in (2, 3, 5):
+        for seed in range(50):
+            drawn = random_address_superposition(8, num_addresses, seed=seed)
+            reference = _superposition_reference(8, num_addresses, seed)
+            assert _amplitude_bits(drawn) == _amplitude_bits(reference)
+
+
+def test_block_shard_draws_match_scalar_draws():
+    """``integers(n, size=B)`` consumes the stream like B scalar draws."""
+    for num_shards in (1, 2, 4, 8):
+        for seed in (0, 1, 5, 123):
+            block_rng = np.random.default_rng(seed)
+            scalar_rng = np.random.default_rng(seed)
+            block = block_rng.integers(num_shards, size=512).tolist()
+            scalar = [int(scalar_rng.integers(num_shards)) for _ in range(512)]
+            assert block == scalar
+            assert (
+                block_rng.bit_generator.state == scalar_rng.bit_generator.state
+            )
+
+
+def _trace_reference(
+    capacity, num_queries, mean_interarrival, addresses_per_query,
+    num_tenants, num_shards, seed, shards=None,
+):
+    """The historical per-request arrival loop, verbatim (pinned oracle)."""
+    owned = None if shards is None else frozenset(int(s) for s in shards)
+    rng = np.random.default_rng(seed)
+    times = iter_exponential_times(num_queries, mean_interarrival, seed)
+    for i, t in enumerate(times):
+        shard = int(rng.integers(num_shards))
+        if owned is not None and shard not in owned:
+            continue
+        yield QueryRequest(
+            query_id=i,
+            address_amplitudes=shard_aligned_superposition(
+                capacity, num_shards, shard, addresses_per_query, seed=seed + i
+            ),
+            request_time=float(t),
+            qpu=i % num_tenants,
+            deadline=None,
+            min_fidelity=None,
+        )
+
+
+@pytest.mark.parametrize("shards", [None, (0,), (1, 3)])
+def test_poisson_trace_bitwise_parity_with_reference(shards):
+    """Block shard draws leave every request byte-identical, restricted
+    streams included (a parallel worker regenerates the same partition)."""
+    kwargs = dict(
+        capacity=16, num_queries=600, mean_interarrival=9.0,
+        addresses_per_query=1, num_tenants=3, num_shards=4, seed=7,
+    )
+    generated = list(iter_poisson_trace(**kwargs, shards=shards))
+    reference = list(_trace_reference(**kwargs, shards=shards))
+    assert len(generated) == len(reference)
+    for produced, expected in zip(generated, reference):
+        assert produced.query_id == expected.query_id
+        assert produced.request_time.hex() == expected.request_time.hex()
+        assert produced.qpu == expected.qpu
+        assert _amplitude_bits(produced.address_amplitudes) == (
+            _amplitude_bits(expected.address_amplitudes)
+        )
+
+
+def test_timing_window_is_memoized_and_consistent():
+    """`run_window(functional=False)` serves one shared WindowResult per
+    occupancy whose fidelities are exactly the predicted vector."""
+    for architecture in ALL_ARCHITECTURES:
+        backend = build_backend(architecture, 8, [0] * 8)
+        occupancy = min(backend.query_parallelism, 4)
+        requests = [
+            QueryRequest(i, {i % 8: 1.0}, request_time=0.0)
+            for i in range(occupancy)
+        ]
+        first = backend.run_window(requests, functional=False)
+        second = backend.run_window(requests, functional=False)
+        assert first is second, architecture
+        assert first.fidelities == backend.predicted_window_fidelities(occupancy)
+        assert first.outputs == (None,) * occupancy
+
+
+def test_write_memory_invalidates_instance_memos():
+    """The SIM003 pairing: mutating memory drops the per-instance memos
+    (registry vectors are memory-independent and stay shared)."""
+    backend = build_backend("Fat-Tree", 8, [0] * 8)
+    requests = [QueryRequest(0, {0: 1.0}, request_time=0.0)]
+    before = backend.run_window(requests, functional=False)
+    backend.predicted_window_fidelities(1)
+    backend.write_memory(0, 1)
+    assert "_timing_window_cache" not in backend.__dict__
+    after = backend.run_window(requests, functional=False)
+    assert after is not before
+    assert after.fidelities == before.fidelities

@@ -8,4 +8,5 @@ from tools.simlint.rules import (  # noqa: F401
     sim005_shared_state,
     sim006_units,
     sim007_fork_safety,
+    sim008_hot_loops,
 )
