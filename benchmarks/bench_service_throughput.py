@@ -32,6 +32,11 @@ Measurements:
 * the shared schedule-cache registry: an autoscaled replica added mid-run
   resolves its executor from the process-wide warm cache (a registry hit,
   never a fresh derivation), and memory writes fan invalidations out;
+* the scenario axis: every named adversarial scenario of
+  :mod:`repro.scenarios.library` (diurnal cycle, flash crowd, hot-key
+  skew, misbehaving tenant, deadline-impossible) drained end to end from
+  its declarative :class:`~repro.scenarios.ScenarioSpec`, comparing how
+  each stress pattern trades served counts, rejections and tail latency;
 * the retention axis: one 5,000-query streaming trace served under
   ``retention="full"`` vs ``retention="none"`` — identical counts and
   means, sketched percentiles within a few percent, and an
@@ -58,6 +63,14 @@ from repro.engine import (
     TraceSource,
 )
 from repro.hardware.parameters import TABLE3_PARAMETERS
+from repro.scenarios import (
+    FleetSpec,
+    PolicySpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    library_names,
+    library_scenario,
+)
 from repro.schedule_cache import default_registry
 from repro.service import QRAMService
 from repro.workloads import iter_poisson_trace, poisson_trace, random_data
@@ -235,6 +248,22 @@ def test_service_throughput_backend_axis(benchmark):
         assert name in stats.per_backend
 
 
+def _saturation_scenario(mean_interarrival: float) -> ScenarioSpec:
+    """One point on the offered-load axis as a declarative scenario."""
+    return ScenarioSpec(
+        name=f"saturation-{mean_interarrival:g}",
+        fleet=FleetSpec(
+            capacity=16, shards=("Fat-Tree", "Fat-Tree"), functional=False,
+        ),
+        workload=WorkloadSpec(
+            kind="poisson", num_queries=48,
+            mean_interarrival=mean_interarrival, num_tenants=3, seed=13,
+            deadline_layers=150.0,
+        ),
+        policy=PolicySpec(max_queue_depth=8, shed_expired=True),
+    )
+
+
 def test_service_saturation_axis(benchmark):
     """Offered load from light to saturating, under SLO-aware serving.
 
@@ -243,24 +272,16 @@ def test_service_saturation_axis(benchmark):
     bounded queues and expired-deadline shedding.  Under light load
     nothing is rejected; under saturation the engine sheds / rejects and
     the deadline-miss-rate climbs — the accounting a serving system is
-    sized by.
+    sized by.  Each load point is one :class:`ScenarioSpec`.
     """
-    capacity = 16
     num_queries = 48
     loads = {"light": 120.0, "moderate": 30.0, "saturated": 2.0}
 
     def sweep():
-        results = {}
-        for label, mean_interarrival in loads.items():
-            trace = poisson_trace(
-                capacity, num_queries, mean_interarrival=mean_interarrival,
-                num_tenants=3, num_shards=2, seed=13, deadline_layers=150.0,
-            )
-            service = QRAMService(capacity, num_shards=2, functional=False)
-            results[label] = service.serve_workload(
-                TraceSource(trace), max_queue_depth=8, shed_expired=True
-            ).stats
-        return results
+        return {
+            label: _saturation_scenario(mean_interarrival).execute().stats
+            for label, mean_interarrival in loads.items()
+        }
 
     results = sweep()
     benchmark(sweep)
@@ -289,6 +310,23 @@ def test_service_saturation_axis(benchmark):
     assert saturated.p95_latency_layers >= light.p95_latency_layers
 
 
+def _fidelity_scenario(
+    architectures: tuple[str, ...], min_fidelity: float | None
+) -> ScenarioSpec:
+    """One fleet choice on the quality axis as a declarative scenario."""
+    return ScenarioSpec(
+        name="fidelity-axis",
+        fleet=FleetSpec(
+            capacity=16, shards=architectures, placement="shortest-queue",
+            functional=False, parameters=TABLE3_PARAMETERS[1e-4],
+        ),
+        workload=WorkloadSpec(
+            kind="poisson", num_queries=32, mean_interarrival=30.0,
+            num_tenants=2, seed=11, min_fidelity=min_fidelity,
+        ),
+    )
+
+
 def test_service_fidelity_axis(benchmark):
     """Quality-of-result as a serving axis: bare vs mixed-encoded fleets.
 
@@ -297,33 +335,21 @@ def test_service_fidelity_axis(benchmark):
     with every request carrying a ``min_fidelity`` SLO only the encoded
     replica can meet.  The encoded replica lifts mean/min fidelity, and
     the SLO pins all traffic onto it — quality bought with makespan.
+    Each fleet choice is one :class:`ScenarioSpec` (eps0 = 1e-4 is below
+    the code threshold, where d=3 helps).
     """
-    capacity = 16
     num_queries = 32
-    params = TABLE3_PARAMETERS[1e-4]      # below threshold: d=3 helps
     fleets = {
-        "bare": dict(architectures=["Fat-Tree", "Fat-Tree"]),
-        "mixed": dict(architectures=["Fat-Tree", "Fat-Tree@d3"]),
-        "mixed+slo": dict(
-            architectures=["Fat-Tree", "Fat-Tree@d3"], min_fidelity=0.995
-        ),
+        "bare": (("Fat-Tree", "Fat-Tree"), None),
+        "mixed": (("Fat-Tree", "Fat-Tree@d3"), None),
+        "mixed+slo": (("Fat-Tree", "Fat-Tree@d3"), 0.995),
     }
 
     def sweep():
-        results = {}
-        for label, config in fleets.items():
-            min_fidelity = config.get("min_fidelity")
-            trace = poisson_trace(
-                capacity, num_queries, mean_interarrival=30.0, num_tenants=2,
-                seed=11, min_fidelity=min_fidelity,
-            )
-            service = QRAMService(
-                capacity, num_shards=2, functional=False,
-                architectures=config["architectures"],
-                placement="shortest-queue", parameters=params,
-            )
-            results[label] = service.serve_workload(TraceSource(trace)).stats
-        return results
+        return {
+            label: _fidelity_scenario(arch, slo).execute().stats
+            for label, (arch, slo) in fleets.items()
+        }
 
     results = sweep()
     benchmark(sweep)
@@ -471,6 +497,52 @@ def test_service_workers_axis(benchmark):
         rows,
     )
     assert baseline.stats.total_queries == num_queries
+
+
+def test_service_scenario_axis(benchmark):
+    """The adversarial-scenario axis: every library scenario, end to end.
+
+    Each named scenario of :mod:`repro.scenarios.library` stresses one
+    failure mode (diurnal load swing, flash crowd on a bounded queue,
+    hot-key shard skew, a flooding tenant, impossible deadlines under
+    EDF + shedding); draining them from their declarative specs compares
+    how the engine's accounting — served/rejected/shed splits, tail
+    latency, per-shard utilization — responds to each stress pattern.
+    """
+
+    def sweep():
+        return {
+            name: library_scenario(name).execute().stats
+            for name in library_names()
+        }
+
+    results = sweep()
+    benchmark(sweep)
+    rows = {}
+    for name, stats in results.items():
+        rows[name] = {
+            "offered": stats.offered_queries,
+            "served": stats.total_queries,
+            "rejected": stats.rejected_queries,
+            "shed": stats.shed_queries,
+            "p95_latency_layers": round(stats.p95_latency_layers, 1),
+            "max_shard_depth": max(
+                s.max_queue_depth for s in stats.per_shard.values()
+            ),
+        }
+    print_rows("Scenario axis — the adversarial workload library", rows)
+    for name, stats in results.items():
+        assert stats.offered_queries == (
+            stats.total_queries + stats.rejected_queries + stats.shed_queries
+        ), name
+    # Each stress pattern leaves its signature in the accounting.
+    assert results["flash-crowd"].rejected_queries > 0
+    assert results["misbehaving-tenant"].rejected_queries > 0
+    assert results["deadline-impossible"].shed_queries > 0
+    skew = results["hot-key-skew"].per_shard
+    hot = max(s.queries for s in skew.values())
+    assert hot >= results["hot-key-skew"].total_queries // 2
+    assert results["diurnal-cycle"].rejected_queries == 0
 
 
 def test_autoscaled_replica_hits_warm_schedule_cache(benchmark):

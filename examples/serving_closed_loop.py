@@ -10,21 +10,120 @@ The same 2-shard Fat-Tree fleet serves:
    bounded queue and expired-deadline shedding (saturation surfaces as
    rejects / sheds / deadline misses, not unbounded queues);
 4. **elastic** — a replicated fleet that grows and shrinks replicas from
-   queue-depth watermarks while a burst passes through.
+   queue-depth watermarks while two query bursts pass through.
 
 Every scenario is the same engine — a heap of typed events on one virtual
-clock — with a different workload source or serving discipline.
+clock — and every scenario is one declarative
+:class:`repro.scenarios.ScenarioSpec` in ``SCENARIOS``: the fleet, the
+workload, the admission policy and the run knobs in one validated,
+JSON-round-trippable object (``spec.build()`` assembles the exact objects
+the hand-wired path would; bit-identity is pinned in
+``tests/test_scenarios.py``).
 
 Run with ``python examples/serving_closed_loop.py``.
 """
 
 from __future__ import annotations
 
-from repro import AutoscalerConfig, QRAMService, QueryRequest, TraceSource
-from repro.workloads import closed_loop_source, poisson_trace, random_data
+from repro import AutoscalerConfig
+from repro.scenarios import FleetSpec, PolicySpec, ScenarioSpec, WorkloadSpec
 
 CAPACITY = 16
 NUM_SHARDS = 2
+
+
+def open_loop_scenario() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="open-loop",
+        fleet=FleetSpec(
+            capacity=CAPACITY,
+            shards=("Fat-Tree",) * NUM_SHARDS,
+            data="random",
+            data_seed=1,
+        ),
+        workload=WorkloadSpec(
+            kind="poisson",
+            num_queries=40,
+            mean_interarrival=8.0,
+            num_tenants=4,
+            seed=7,
+        ),
+    )
+
+
+def closed_loop_scenario() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="closed-loop",
+        fleet=FleetSpec(
+            capacity=CAPACITY,
+            shards=("Fat-Tree",) * NUM_SHARDS,
+            functional=False,
+        ),
+        workload=WorkloadSpec(
+            kind="closed-loop",
+            num_clients=4,
+            queries_per_client=8,
+            think_layers=60.0,
+            seed=3,
+        ),
+    )
+
+
+def slo_scenario() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="slo-aware",
+        fleet=FleetSpec(
+            capacity=CAPACITY,
+            shards=("Fat-Tree",) * NUM_SHARDS,
+            functional=False,
+        ),
+        workload=WorkloadSpec(
+            kind="poisson",
+            num_queries=60,
+            mean_interarrival=2.0,
+            num_tenants=4,
+            seed=5,
+            deadline_layers=180.0,
+        ),
+        policy=PolicySpec(
+            admission="edf",
+            max_queue_depth=6,
+            shed_expired=True,
+        ),
+    )
+
+
+def elastic_scenario() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="elastic",
+        fleet=FleetSpec(
+            capacity=CAPACITY,
+            shards=("Fat-Tree",),
+            placement="shortest-queue",
+            functional=False,
+        ),
+        workload=WorkloadSpec(
+            kind="bursty",
+            num_bursts=2,
+            burst_size=12,
+            burst_spacing=40_000.0,
+        ),
+        policy=PolicySpec(
+            autoscaler=AutoscalerConfig(
+                period=100.0, high_watermark=4, low_watermark=0,
+                min_shards=1, max_shards=3,
+            ),
+        ),
+    )
+
+
+#: Every scenario this example serves, importable by tests and benchmarks.
+SCENARIOS: dict[str, ScenarioSpec] = {
+    "open-loop": open_loop_scenario(),
+    "closed-loop": closed_loop_scenario(),
+    "slo-aware": slo_scenario(),
+    "elastic": elastic_scenario(),
+}
 
 
 def _print_stats(label: str, stats) -> None:
@@ -41,21 +140,12 @@ def _print_stats(label: str, stats) -> None:
 
 
 def open_loop() -> None:
-    service = QRAMService(CAPACITY, num_shards=NUM_SHARDS,
-                          data=random_data(CAPACITY, seed=1))
-    trace = poisson_trace(CAPACITY, 40, mean_interarrival=8.0,
-                          num_tenants=4, num_shards=NUM_SHARDS, seed=7)
-    report = service.serve(trace)      # thin wrapper over the engine
+    report = SCENARIOS["open-loop"].execute()
     _print_stats("open loop (40-query Poisson trace)", report.stats)
 
 
 def closed_loop() -> None:
-    service = QRAMService(CAPACITY, num_shards=NUM_SHARDS, functional=False)
-    source = closed_loop_source(
-        CAPACITY, num_clients=4, queries_per_client=8,
-        think_layers=60.0, num_shards=NUM_SHARDS, seed=3,
-    )
-    report = service.serve_workload(source)
+    report = SCENARIOS["closed-loop"].execute()
     stats = report.stats
     _print_stats("closed loop (4 clients x 8 queries, think 60 layers)", stats)
     for tenant, t in stats.per_tenant.items():
@@ -65,28 +155,15 @@ def closed_loop() -> None:
 
 
 def slo_aware() -> None:
-    service = QRAMService(CAPACITY, num_shards=NUM_SHARDS,
-                          functional=False, policy="edf")
-    trace = poisson_trace(CAPACITY, 60, mean_interarrival=2.0,
-                          num_tenants=4, num_shards=NUM_SHARDS, seed=5,
-                          deadline_layers=180.0)
-    report = service.serve_workload(
-        TraceSource(trace), max_queue_depth=6, shed_expired=True
-    )
+    report = SCENARIOS["slo-aware"].execute()
     _print_stats("SLO-aware (saturating trace, EDF, deadline 180 layers, "
                  "queue bound 6)", report.stats)
 
 
 def elastic() -> None:
-    service = QRAMService(CAPACITY, num_shards=1, functional=False,
-                          placement="shortest-queue")
-    burst = [QueryRequest(i, {i % CAPACITY: 1.0}, request_time=0.0)
-             for i in range(12)]
-    burst.append(QueryRequest(99, {5: 1.0}, request_time=40_000.0))
-    config = AutoscalerConfig(period=100.0, high_watermark=4,
-                              low_watermark=0, min_shards=1, max_shards=3)
-    report = service.serve_workload(TraceSource(burst), autoscaler=config)
-    _print_stats("elastic (12-query burst on a replicated fleet)", report.stats)
+    report = SCENARIOS["elastic"].execute()
+    _print_stats("elastic (two 12-query bursts on a replicated fleet)",
+                 report.stats)
     for event in report.scale_events:
         print(f"  t={event.time:8.0f}: scale {event.action:<4} -> "
               f"{event.active_shards} replica(s) "

@@ -17,20 +17,106 @@ serving stack):
    at code distance 3 (Table 5 resources, Fig. 11 fidelity): a mixed
    bare + encoded fleet routes strict traffic to the encoded replica.
 
+Each experiment is one :class:`repro.scenarios.ScenarioSpec` in
+``SCENARIOS`` — the noise model rides in ``FleetSpec.parameters``, the
+SLO in ``WorkloadSpec.min_fidelity``, the copy budget in
+``RunSpec.max_distillation_copies`` (bit-identity vs the hand-wired
+constructions is pinned in ``tests/test_scenarios.py``).
+
 Run with ``python examples/serving_fidelity_slo.py``.
 """
 
 from __future__ import annotations
 
-from repro import QRAMService, TraceSource
+from repro import QRAMService
 from repro.hardware.parameters import TABLE3_PARAMETERS
-from repro.workloads import poisson_trace
+from repro.scenarios import FleetSpec, RunSpec, ScenarioSpec, WorkloadSpec
 
 CAPACITY = 16
 #: eps0 = 1e-4 — well below the code threshold (1e-2), where distance-3
 #: encoding improves on bare hardware (at the paper's default 2e-3 it
 #: would not: QEC only pays below threshold).
 PARAMETERS = TABLE3_PARAMETERS[1e-4]
+
+
+def predicted_fidelity_scenario() -> ScenarioSpec:
+    """Timing-only serving still reports per-slot predicted fidelity."""
+    return ScenarioSpec(
+        name="predicted-fidelity",
+        fleet=FleetSpec(
+            capacity=CAPACITY,
+            shards=("Fat-Tree", "Fat-Tree"),
+            functional=False,
+            parameters=PARAMETERS,
+        ),
+        workload=WorkloadSpec(
+            kind="poisson",
+            num_queries=24,
+            mean_interarrival=10.0,
+            num_tenants=3,
+            seed=7,
+        ),
+    )
+
+
+def mixed_encoded_scenario() -> ScenarioSpec:
+    """Bare + distance-3 replicas; strict tenants land on the encoded one."""
+    return ScenarioSpec(
+        name="mixed-encoded",
+        fleet=FleetSpec(
+            capacity=CAPACITY,
+            shards=("Fat-Tree", "Fat-Tree@d3"),
+            placement="shortest-queue",
+            functional=False,
+            parameters=PARAMETERS,
+        ),
+        workload=WorkloadSpec(
+            kind="poisson",
+            num_queries=24,
+            mean_interarrival=40.0,
+            num_tenants=3,
+            seed=5,
+            min_fidelity=0.995,
+        ),
+    )
+
+
+def _bare_solo_fidelity() -> float:
+    """The lone-query bound of one bare shard at the example's noise."""
+    probe = QRAMService(CAPACITY, num_shards=1, functional=False,
+                        parameters=PARAMETERS)
+    return probe.shards[0].predicted_query_fidelity()
+
+
+def distillation_scenario() -> ScenarioSpec:
+    """A target above the bare bound, met by spending parallel copies."""
+    solo = _bare_solo_fidelity()
+    target = 1.0 - (1.0 - solo) ** 2 * 2.0     # needs 2 distilled copies
+    return ScenarioSpec(
+        name="distillation-retry",
+        fleet=FleetSpec(
+            capacity=CAPACITY,
+            shards=("Fat-Tree",),
+            functional=False,
+            parameters=PARAMETERS,
+        ),
+        workload=WorkloadSpec(
+            kind="poisson",
+            num_queries=12,
+            mean_interarrival=120.0,
+            seed=3,
+            min_fidelity=target,
+        ),
+        run=RunSpec(max_distillation_copies=4),
+    )
+
+
+#: Every scenario this example serves, importable by tests and benchmarks.
+SCENARIOS: dict[str, ScenarioSpec] = {
+    "predicted-fidelity": predicted_fidelity_scenario(),
+    "mixed-encoded": mixed_encoded_scenario(),
+    "distillation-retry": distillation_scenario(),
+}
 
 
 def _print_stats(label: str, stats) -> None:
@@ -50,47 +136,29 @@ def _print_stats(label: str, stats) -> None:
 
 
 def predicted_fidelity() -> None:
-    """Timing-only serving still reports per-slot predicted fidelity."""
-    service = QRAMService(CAPACITY, num_shards=2, functional=False,
-                          parameters=PARAMETERS)
-    trace = poisson_trace(CAPACITY, 24, mean_interarrival=10.0,
-                          num_tenants=3, num_shards=2, seed=7)
-    report = service.serve(trace)
+    report = SCENARIOS["predicted-fidelity"].execute()
     _print_stats("predicted fidelity (bare 2-shard Fat-Tree fleet)",
                  report.stats)
 
 
 def mixed_encoded_fleet() -> None:
-    """Bare + distance-3 replicas; strict tenants land on the encoded one."""
-    service = QRAMService(
-        CAPACITY, num_shards=2, functional=False,
-        architectures=["Fat-Tree", "Fat-Tree@d3"],
-        placement="shortest-queue", parameters=PARAMETERS,
-    )
-    bare, encoded = service.shards
+    built = SCENARIOS["mixed-encoded"].build()
+    bare, encoded = built.service.shards
     print(f"replica fidelity: bare {bare.predicted_query_fidelity():.5f}, "
           f"encoded {encoded.predicted_query_fidelity():.5f} "
           f"({encoded.qubit_count} vs {bare.qubit_count} qubits)\n")
-    trace = poisson_trace(CAPACITY, 24, mean_interarrival=40.0,
-                          num_tenants=3, seed=5, min_fidelity=0.995)
-    report = service.serve_workload(TraceSource(trace))
+    report = built.run()
     _print_stats("fidelity SLO 0.995 on a mixed bare + @d3 fleet",
                  report.stats)
 
 
 def distillation_retry() -> None:
-    """A target above the bare bound, met by spending parallel copies."""
-    service = QRAMService(CAPACITY, num_shards=1, functional=False,
-                          parameters=PARAMETERS)
-    solo = service.shards[0].predicted_query_fidelity()
-    target = 1.0 - (1.0 - solo) ** 2 * 2.0     # needs 2 distilled copies
-    trace = poisson_trace(CAPACITY, 12, mean_interarrival=120.0, seed=3,
-                          min_fidelity=target)
-    report = service.serve_workload(TraceSource(trace),
-                                    max_distillation_copies=4)
+    spec = SCENARIOS["distillation-retry"]
+    solo = _bare_solo_fidelity()
+    report = spec.execute()
     copies = [r.distillation_copies for r in report.served]
     _print_stats(f"distillation retry (bare bound {solo:.5f}, "
-                 f"target {target:.5f})", report.stats)
+                 f"target {spec.workload.min_fidelity:.5f})", report.stats)
     print(f"  copies per query    : {copies}\n")
 
 

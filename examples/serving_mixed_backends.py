@@ -12,17 +12,71 @@ A second fleet replicates the full memory over the five architectures —
 one shard each — with shortest-queue placement, so every query lands on
 the least-loaded architecture regardless of its addresses.
 
+Both fleets are declarative :class:`repro.scenarios.ScenarioSpec` entries
+in ``SCENARIOS`` — the shard architecture list is just the
+``FleetSpec.shards`` tuple (bit-identity vs the hand-wired construction
+is pinned in ``tests/test_scenarios.py``).
+
 Run with ``python examples/serving_mixed_backends.py``.
 """
 
 from __future__ import annotations
 
-from repro import QRAMService, backend_names
-from repro.workloads import poisson_trace, random_data
+from repro import backend_names
+from repro.scenarios import FleetSpec, ScenarioSpec, WorkloadSpec
 
 CAPACITY = 32
 NUM_QUERIES = 60
 MEAN_INTERARRIVAL = 6.0       # raw layers between arrivals (Poisson)
+
+
+def interleaved_scenario() -> ScenarioSpec:
+    """Per-shard architecture choice behind one interleaved address space."""
+    return ScenarioSpec(
+        name="mixed-interleaved",
+        fleet=FleetSpec(
+            capacity=CAPACITY,
+            shards=("Fat-Tree", "Fat-Tree", "BB", "Virtual"),
+            data="random",
+            data_seed=1,
+        ),
+        workload=WorkloadSpec(
+            kind="poisson",
+            num_queries=NUM_QUERIES,
+            mean_interarrival=MEAN_INTERARRIVAL,
+            num_tenants=3,
+            seed=7,
+        ),
+    )
+
+
+def replicated_scenario() -> ScenarioSpec:
+    """All five architectures replicate the memory, shortest-queue placed."""
+    return ScenarioSpec(
+        name="mixed-replicated",
+        fleet=FleetSpec(
+            capacity=CAPACITY,
+            shards=tuple(backend_names()),
+            placement="shortest-queue",
+            functional=False,
+            data="random",
+            data_seed=1,
+        ),
+        workload=WorkloadSpec(
+            kind="poisson",
+            num_queries=NUM_QUERIES,
+            mean_interarrival=MEAN_INTERARRIVAL / 2,
+            num_tenants=3,
+            seed=11,
+        ),
+    )
+
+
+#: Every scenario this example serves, importable by tests and benchmarks.
+SCENARIOS: dict[str, ScenarioSpec] = {
+    "interleaved": interleaved_scenario(),
+    "replicated": replicated_scenario(),
+}
 
 
 def print_backend_stats(title: str, stats) -> None:
@@ -36,40 +90,22 @@ def print_backend_stats(title: str, stats) -> None:
 
 
 def main() -> None:
-    data = random_data(CAPACITY, seed=1)
-
     # --- interleaved fleet: per-shard architecture choice -----------------
-    architectures = ["Fat-Tree", "Fat-Tree", "BB", "Virtual"]
-    service = QRAMService(
-        CAPACITY, num_shards=4, data=data, architectures=architectures
-    )
-    trace = poisson_trace(
-        CAPACITY, NUM_QUERIES, mean_interarrival=MEAN_INTERARRIVAL,
-        num_tenants=3, num_shards=4, seed=7,
-    )
-    report = service.serve(trace)
+    spec = SCENARIOS["interleaved"]
+    report = spec.execute()
     worst = min(r.fidelity for r in report.served)
-    print(f"interleaved fleet: {dict(zip(range(4), architectures))}")
+    print(f"interleaved fleet: {dict(enumerate(spec.fleet.shards))}")
     print(f"served {report.stats.total_queries} queries in "
           f"{report.stats.makespan_layers:.0f} raw layers "
           f"(worst-case fidelity {worst:.6f})\n")
     print_backend_stats("per-backend (interleaved):", report.stats)
 
     # --- replicated fleet: all five architectures, shortest queue --------
-    fleet = backend_names()
-    replicated = QRAMService(
-        CAPACITY, num_shards=len(fleet), data=data, architectures=fleet,
-        placement="shortest-queue", functional=False,
-    )
-    # Replication lifts the shard-alignment constraint: full-range traces.
-    open_trace = poisson_trace(
-        CAPACITY, NUM_QUERIES, mean_interarrival=MEAN_INTERARRIVAL / 2,
-        num_tenants=3, num_shards=1, seed=11,
-    )
-    report = replicated.serve(open_trace)
-    print(f"replicated fleet ({len(fleet)} architectures, shortest-queue "
-          f"placement): {report.stats.total_queries} queries in "
-          f"{report.stats.makespan_layers:.0f} raw layers\n")
+    spec = SCENARIOS["replicated"]
+    report = spec.execute()
+    print(f"replicated fleet ({spec.fleet.num_shards} architectures, "
+          f"shortest-queue placement): {report.stats.total_queries} queries "
+          f"in {report.stats.makespan_layers:.0f} raw layers\n")
     print_backend_stats("per-backend (replicated):", report.stats)
 
 

@@ -18,37 +18,108 @@ shows the two supporting pieces:
    oracle-exact (here: an autoscaled fleet) fall back to the oracle with
    ``report.parallel.fallback_reason`` set, never silently.
 
+One :class:`repro.scenarios.ScenarioSpec` describes the whole experiment;
+the worker count is just ``RunSpec.workers``, so the sweep is
+``dataclasses.replace`` on the ``run`` section and
+``WorkloadSpec(delivery="partitioned")`` is the lazy per-shard
+regeneration form.
+
 Run with ``python examples/serving_parallel.py``.
 """
 
 from __future__ import annotations
 
-from repro import AutoscalerConfig, QRAMService, ServiceEngine, TraceSource
-from repro.engine import PartitionedTraceSource
+from dataclasses import replace
+
+from repro import AutoscalerConfig
+from repro.scenarios import (
+    FleetSpec,
+    PolicySpec,
+    RunSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
 from repro.schedule_cache import default_registry
-from repro.workloads import iter_poisson_trace, poisson_trace, random_data
 
 CAPACITY = 16
 NUM_SHARDS = 4
 QUERIES = 48
 
 
-def _service(**overrides):
-    kwargs = dict(num_shards=NUM_SHARDS, data=random_data(CAPACITY, seed=3))
-    kwargs.update(overrides)
-    return QRAMService(CAPACITY, **kwargs)
+def parallel_scenario() -> ScenarioSpec:
+    """The base run: 4 interleaved shards, oracle workers=0."""
+    return ScenarioSpec(
+        name="parallel-oracle",
+        fleet=FleetSpec(
+            capacity=CAPACITY,
+            shards=("Fat-Tree",) * NUM_SHARDS,
+            data="random",
+            data_seed=3,
+        ),
+        workload=WorkloadSpec(
+            kind="poisson",
+            num_queries=QUERIES,
+            mean_interarrival=6.0,
+            num_tenants=3,
+            seed=11,
+        ),
+        run=RunSpec(workers=0),
+    )
+
+
+def lazy_partitioned_scenario() -> ScenarioSpec:
+    """The same trace as a lazy per-shard regenerating source."""
+    base = parallel_scenario()
+    return replace(
+        base,
+        name="parallel-lazy",
+        workload=replace(base.workload, delivery="partitioned"),
+        run=RunSpec(workers=2, retention="none"),
+    )
+
+
+def fallback_scenario() -> ScenarioSpec:
+    """An autoscaled fleet: unpartitionable, falls back to the oracle."""
+    return ScenarioSpec(
+        name="parallel-fallback",
+        fleet=FleetSpec(
+            capacity=CAPACITY,
+            shards=("Fat-Tree",) * NUM_SHARDS,
+            placement="shortest-queue",
+            data="random",
+            data_seed=3,
+        ),
+        workload=WorkloadSpec(
+            kind="poisson",
+            num_queries=12,
+            mean_interarrival=2.0,
+            seed=7,
+        ),
+        policy=PolicySpec(
+            autoscaler=AutoscalerConfig(
+                period=100.0, high_watermark=4, low_watermark=0,
+                min_shards=1, max_shards=8,
+            ),
+        ),
+        run=RunSpec(workers=4),
+    )
+
+
+#: Every scenario this example serves, importable by tests and benchmarks.
+SCENARIOS: dict[str, ScenarioSpec] = {
+    "oracle": parallel_scenario(),
+    "lazy-partitioned": lazy_partitioned_scenario(),
+    "fallback": fallback_scenario(),
+}
 
 
 def bit_identity() -> None:
-    requests = poisson_trace(CAPACITY, QUERIES, mean_interarrival=6.0,
-                             num_tenants=3, num_shards=NUM_SHARDS, seed=11)
-    oracle = ServiceEngine(_service(), workers=0).run(TraceSource(requests))
+    base = SCENARIOS["oracle"]
+    oracle = base.execute()
     print(f"oracle (workers=0): served {oracle.stats.total_queries} queries, "
           f"p99 {oracle.stats.p99_latency_layers:.1f} layers")
     for workers in (1, 2, 4):
-        report = ServiceEngine(_service(), workers=workers).run(
-            TraceSource(requests)
-        )
+        report = replace(base, run=replace(base.run, workers=workers)).execute()
         info = report.parallel
         assert report == oracle, f"workers={workers} diverged from the oracle"
         print(f"workers={workers}: {info.partitions} partitions across "
@@ -57,13 +128,7 @@ def bit_identity() -> None:
 
 
 def partitioned_lazy_trace() -> None:
-    def factory(shards=None):
-        return iter_poisson_trace(CAPACITY, QUERIES, mean_interarrival=6.0,
-                                  num_tenants=3, num_shards=NUM_SHARDS,
-                                  seed=11, shards=shards)
-
-    source = PartitionedTraceSource(factory)
-    report = ServiceEngine(_service(), workers=2, retention="none").run(source)
+    report = SCENARIOS["lazy-partitioned"].execute()
     print("PartitionedTraceSource: each worker regenerated only its shards' "
           "arrivals")
     print(f"  served {report.stats.total_queries}/{QUERIES} with "
@@ -75,9 +140,9 @@ def partitioned_lazy_trace() -> None:
 def shared_schedule_cache() -> None:
     registry = default_registry()
     registry.clear()
-    _service()                      # builds + prewarms the registry
+    SCENARIOS["oracle"].build()     # builds + prewarms the registry
     built = registry.stats()
-    _service()                      # identical memory image: warm hits
+    SCENARIOS["oracle"].build()     # identical memory image: warm hits
     twin = registry.stats()
     print("ScheduleCacheRegistry: one compiled executor per memory image")
     print(f"  first build : {built.misses} misses (prewarm), "
@@ -88,13 +153,7 @@ def shared_schedule_cache() -> None:
 
 
 def observable_fallback() -> None:
-    service = _service(placement="shortest-queue")
-    requests = poisson_trace(CAPACITY, 12, mean_interarrival=2.0,
-                             num_shards=NUM_SHARDS, seed=7)
-    config = AutoscalerConfig(period=100.0, high_watermark=4,
-                              low_watermark=0, min_shards=1, max_shards=8)
-    engine = ServiceEngine(service, workers=4, autoscaler=config)
-    report = engine.run(TraceSource(requests))
+    report = SCENARIOS["fallback"].execute()
     info = report.parallel
     assert info is not None and info.workers == 0
     print("fallback: unpartitionable configs serve on the oracle, loudly")

@@ -1,15 +1,17 @@
 """Bounded-memory serving with a live telemetry time series.
 
 A 2-shard Fat-Tree fleet drains a 20,000-query open-loop Poisson trace
-that is *never materialized*: ``iter_poisson_trace`` yields one request at
-a time and a :class:`~repro.engine.StreamingTraceSource` feeds the engine
-one arrival ahead.  The engine runs with ``retention="none"`` — no
-per-request records are kept, the report's statistics come from the online
-aggregators in :mod:`repro.metrics.streaming` — and a periodic
-``TelemetryTick`` emits one interval sample every 10,000 layers, so the
-run is observable *while it happens* rather than through a post-hoc record
-dump.  A :class:`~repro.metrics.sinks.JsonlSink` tee shows how to keep
-durable full telemetry on disk without resident memory.
+that is *never materialized*: ``WorkloadSpec(delivery="streaming")``
+yields one request at a time through a
+:class:`~repro.engine.StreamingTraceSource` feeding the engine one arrival
+ahead.  The engine runs with ``retention="none"`` — no per-request records
+are kept, the report's statistics come from the online aggregators in
+:mod:`repro.metrics.streaming` — and a periodic ``TelemetryTick`` emits
+one interval sample every 10,000 layers, so the run is observable *while
+it happens* rather than through a post-hoc record dump.  A
+:class:`~repro.metrics.sinks.JsonlSink` tee shows how to keep durable full
+telemetry on disk without resident memory — sinks are runtime objects, so
+they ride on ``spec.execute(sink=...)`` rather than in the spec itself.
 
 This is exactly how ``benchmarks/bench_service_scale.py`` serves a million
 queries in ~50 MB of RSS; see ``BENCH_service_scale.json`` for the
@@ -23,9 +25,8 @@ from __future__ import annotations
 import os
 import tempfile
 
-from repro import QRAMService, StreamingTraceSource
 from repro.metrics.sinks import JsonlSink, load_jsonl
-from repro.workloads import iter_poisson_trace
+from repro.scenarios import FleetSpec, RunSpec, ScenarioSpec, WorkloadSpec
 
 CAPACITY = 16
 NUM_SHARDS = 2
@@ -34,26 +35,40 @@ MEAN_INTERARRIVAL = 16.0
 TELEMETRY_INTERVAL = 10_000.0
 
 
-def main() -> None:
-    trace = iter_poisson_trace(
-        CAPACITY,
-        NUM_QUERIES,
-        mean_interarrival=MEAN_INTERARRIVAL,
-        addresses_per_query=1,
-        num_tenants=4,
-        num_shards=NUM_SHARDS,
-        seed=5,
-    )
-    service = QRAMService(CAPACITY, num_shards=NUM_SHARDS, functional=False)
-
-    jsonl_path = os.path.join(tempfile.gettempdir(), "qram_telemetry.jsonl")
-    with JsonlSink(jsonl_path) as sink:
-        report = service.serve_workload(
-            StreamingTraceSource(trace),
+def telemetry_scenario() -> ScenarioSpec:
+    """The full bounded-memory run as one declarative spec."""
+    return ScenarioSpec(
+        name="scale-telemetry",
+        fleet=FleetSpec(
+            capacity=CAPACITY,
+            shards=("Fat-Tree",) * NUM_SHARDS,
+            functional=False,
+        ),
+        workload=WorkloadSpec(
+            kind="poisson",
+            num_queries=NUM_QUERIES,
+            mean_interarrival=MEAN_INTERARRIVAL,
+            addresses_per_query=1,
+            num_tenants=4,
+            seed=5,
+            delivery="streaming",
+        ),
+        run=RunSpec(
             retention="none",
             telemetry_interval=TELEMETRY_INTERVAL,
-            sink=sink,
-        )
+        ),
+    )
+
+
+#: Every scenario this example serves, importable by tests and benchmarks.
+SCENARIOS: dict[str, ScenarioSpec] = {"telemetry": telemetry_scenario()}
+
+
+def main() -> None:
+    spec = SCENARIOS["telemetry"]
+    jsonl_path = os.path.join(tempfile.gettempdir(), "qram_telemetry.jsonl")
+    with JsonlSink(jsonl_path) as sink:
+        report = spec.execute(sink=sink)
 
     stats = report.stats
     print(f"served {stats.total_queries} queries in "

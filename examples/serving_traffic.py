@@ -7,13 +7,18 @@ windows of up to log2(N/K) concurrent queries — and the report prints the
 per-tenant latency, queue-delay and throughput statistics a shared memory
 serving many callers is judged by.
 
+The whole run is one declarative :class:`repro.scenarios.ScenarioSpec`:
+``SCENARIOS["traffic"]`` names the fleet, the workload, the policy and the
+run knobs, ``build()`` assembles the exact service/engine/trace objects
+the hand-wired path constructs (bit-identity pinned in
+``tests/test_scenarios.py``), and ``spec.to_json()`` is the shareable form.
+
 Run with ``python examples/serving_traffic.py``.
 """
 
 from __future__ import annotations
 
-from repro import QRAMService
-from repro.workloads import poisson_trace, random_data
+from repro.scenarios import FleetSpec, ScenarioSpec, WorkloadSpec
 
 CAPACITY = 16
 NUM_SHARDS = 2
@@ -22,18 +27,35 @@ NUM_TENANTS = 3
 MEAN_INTERARRIVAL = 8.0       # raw layers between arrivals (Poisson)
 
 
-def main() -> None:
-    data = random_data(CAPACITY, seed=1)
-    service = QRAMService(CAPACITY, num_shards=NUM_SHARDS, data=data)
-    trace = poisson_trace(
-        CAPACITY,
-        NUM_QUERIES,
-        mean_interarrival=MEAN_INTERARRIVAL,
-        num_tenants=NUM_TENANTS,
-        num_shards=NUM_SHARDS,
-        seed=7,
+def traffic_scenario() -> ScenarioSpec:
+    """The example's full run as one declarative spec."""
+    return ScenarioSpec(
+        name="serving-traffic",
+        fleet=FleetSpec(
+            capacity=CAPACITY,
+            shards=("Fat-Tree",) * NUM_SHARDS,
+            data="random",
+            data_seed=1,
+        ),
+        workload=WorkloadSpec(
+            kind="poisson",
+            num_queries=NUM_QUERIES,
+            mean_interarrival=MEAN_INTERARRIVAL,
+            num_tenants=NUM_TENANTS,
+            seed=7,
+        ),
     )
-    report = service.serve(trace)
+
+
+#: Every scenario this example serves, importable by tests and benchmarks.
+SCENARIOS: dict[str, ScenarioSpec] = {"traffic": traffic_scenario()}
+
+
+def main() -> None:
+    spec = SCENARIOS["traffic"]
+    built = spec.build()
+    service = built.service
+    report = built.run()
     stats = report.stats
 
     print(f"QRAM service: {NUM_SHARDS} Fat-Tree shards x capacity "

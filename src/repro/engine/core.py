@@ -54,6 +54,7 @@ shared memory under live contention needs:
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field
 from typing import Any
@@ -141,10 +142,17 @@ _PROFILED_STAGES: tuple[tuple[str, str], ...] = (
 
 def _distilled(fidelity: float, copies: int) -> float:
     """Predicted fidelity after virtual distillation with ``copies`` copies
-    (identity at 1 copy; the paper's leading-order ``eps^k`` suppression)."""
+    (identity at 1 copy; the paper's leading-order ``eps^k`` suppression).
+
+    Measured functional fidelities are state overlaps — mathematically in
+    [0, 1] but computed with floats, so a perfect slot can come back as
+    ``1.0 + O(eps)``.  Clamp the implied infidelity into range rather than
+    letting :func:`distilled_infidelity` reject the rounding artifact.
+    """
     if copies <= 1:
         return fidelity
-    return 1.0 - distilled_infidelity(1.0 - fidelity, copies)
+    infidelity = min(1.0, max(0.0, 1.0 - fidelity))
+    return 1.0 - distilled_infidelity(infidelity, copies)
 
 
 class _SeenIds:
@@ -503,7 +511,14 @@ class ServiceEngine:
         self._tick_rejected = 0
         self._tick_shed = 0
         self._tick_windows = 0
-        self._tick_fidelity_total = 0.0
+        # Per-shard partial sums, combined with an exactly-rounded fsum at
+        # flush time: a partitioned run accumulates each shard's fidelities
+        # on its own child engine, so a global left-to-right += would make
+        # the oracle's interval mean differ from the merge in the last bit
+        # (float addition is not associative).  fsum over identical
+        # per-shard partials is order-independent, so both paths agree
+        # byte-for-byte.
+        self._tick_fidelity_totals: dict[int, float] = {}
         self._tick_fidelity_count = 0
         self._now = 0.0
         # Profiling wraps bound methods in per-stage counters.  The
@@ -741,7 +756,8 @@ class ServiceEngine:
             self.sink.append(record)
         self._tick_served += 1
         if record.fidelity is not None:
-            self._tick_fidelity_total += record.fidelity
+            totals = self._tick_fidelity_totals
+            totals[record.shard] = totals.get(record.shard, 0.0) + record.fidelity
             self._tick_fidelity_count += 1
 
     def _record_window(self, record: WindowRecord) -> None:
@@ -1159,6 +1175,10 @@ class ServiceEngine:
         span = end - self._tick_start
         active = self._active_shards()
         depths = [len(self._queues[shard]) for shard in active]
+        fidelity_total = math.fsum(
+            self._tick_fidelity_totals[shard]
+            for shard in sorted(self._tick_fidelity_totals)
+        )
         self._telemetry_raw.append(
             (
                 self._tick_start,
@@ -1170,7 +1190,7 @@ class ServiceEngine:
                 self._tick_windows,
                 sum(depths),
                 max(depths, default=0),
-                self._tick_fidelity_total,
+                fidelity_total,
                 self._tick_fidelity_count,
             )
         )
@@ -1200,7 +1220,7 @@ class ServiceEngine:
                     else 0.0
                 ),
                 mean_fidelity=(
-                    self._tick_fidelity_total / self._tick_fidelity_count
+                    fidelity_total / self._tick_fidelity_count
                     if self._tick_fidelity_count
                     else None
                 ),
@@ -1212,7 +1232,7 @@ class ServiceEngine:
         self._tick_rejected = 0
         self._tick_shed = 0
         self._tick_windows = 0
-        self._tick_fidelity_total = 0.0
+        self._tick_fidelity_totals = {}
         self._tick_fidelity_count = 0
 
     def _on_telemetry_tick(self, now: float) -> None:

@@ -32,12 +32,14 @@ would have interleaved.  This module exploits that factorization:
 
 Determinism contract: ``workers=N`` is bit-identical to ``workers=1`` for
 every partitionable configuration, and identical to the single-process
-oracle (``workers=0``) under full retention with no telemetry interval —
-streaming-retention runs additionally replace the order-sensitive P²
-latency sketches with the deterministic weighted merge of
-:func:`repro.metrics.streaming.merge_service_aggregators`, and periodic
-telemetry intervals are recombined per tick from raw totals (same grid,
-worker-count invariant, not byte-equal to the oracle's global snapshot).
+oracle (``workers=0``) under full retention — including periodic
+telemetry, whose intervals are recombined per tick from raw per-shard
+totals (the oracle accumulates its interval fidelity sum per shard and
+both paths combine partials with an exactly-rounded ``fsum``, so the
+merged intervals are byte-equal to the oracle's).  Streaming-retention
+runs additionally replace the order-sensitive P² latency sketches with
+the deterministic weighted merge of
+:func:`repro.metrics.streaming.merge_service_aggregators`.
 
 Worker errors propagate: the lowest-shard failure is re-raised in the
 parent with its original type and message, which keeps failures
@@ -46,6 +48,7 @@ deterministic across worker counts too.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -276,10 +279,11 @@ def _merge_telemetry(outcomes: list[_ShardOutcome]) -> list[IntervalStats]:
     Every child flushes on the same ``i * interval`` grid (plus one final
     partial interval), so intervals group exactly by ``start_layer``;
     counters sum in shard order, rates and the fidelity mean are recomputed
-    from the raw totals.  Queue depths are per-shard snapshots: the total
-    sums over shards, the max is the deepest single shard — worker-count
-    invariant, though not byte-equal to the oracle's instantaneous global
-    snapshot (the children's clocks end at different times).
+    from the raw totals (fidelity partials via ``fsum``, matching the
+    oracle's own per-shard accumulation byte-for-byte).  Queue depths are
+    per-shard snapshots: the total sums over shards, the max is the
+    deepest single shard — identical to the oracle's instantaneous global
+    snapshot because partitioned shards never interact.
     """
     groups: dict[float, list[_RawInterval]] = {}
     for outcome in outcomes:
@@ -292,7 +296,10 @@ def _merge_telemetry(outcomes: list[_ShardOutcome]) -> list[IntervalStats]:
         span = end - start
         served = sum(row[3] for row in rows)
         rejected = sum(row[4] for row in rows)
-        fidelity_total = sum(row[9] for row in rows)
+        # fsum is exactly rounded, so summing per-shard partials here gives
+        # byte-for-byte the total the oracle's own fsum over its per-shard
+        # accumulators produces, whatever order the rows arrived in.
+        fidelity_total = math.fsum(row[9] for row in rows)
         fidelity_count = sum(row[10] for row in rows)
         intervals.append(
             IntervalStats(

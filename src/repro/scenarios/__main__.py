@@ -1,0 +1,11 @@
+"""``python -m repro.scenarios`` runs the seeded fuzz campaign CLI.
+
+Kept separate from :mod:`repro.scenarios.fuzz` so running the package
+does not re-execute a module the package ``__init__`` already imported
+(the ``found in sys.modules`` runpy warning).
+"""
+
+from repro.scenarios.fuzz import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ from repro.scheduling.policy import (
     PriorityPolicy,
     RandomPolicy,
     as_policy,
+    policy_names,
 )
 from repro.scheduling.contention import (
     AlgorithmWorkload,
@@ -55,6 +56,7 @@ __all__ = [
     "PriorityPolicy",
     "EDFPolicy",
     "as_policy",
+    "policy_names",
     "schedule_queries",
     "total_latency",
     "verify_fifo_optimality",

@@ -26,8 +26,9 @@ class SchedulingPolicy(enum.Enum):
         subclasses), which the serving layer uses directly.  Enum members
         remain accepted everywhere a policy is expected —
         :func:`repro.scheduling.policy.as_policy` maps them onto policy
-        objects — but new code should pass policy objects (or their string
-        names, e.g. ``"priority"``).
+        objects, emitting a :class:`DeprecationWarning` — but new code
+        should pass policy objects (or their string names, e.g.
+        ``"priority"``).
     """
 
     FIFO = "fifo"
@@ -68,7 +69,7 @@ def schedule_queries(
     service_time: float,
     admission_interval: float,
     parallelism: int,
-    policy=SchedulingPolicy.FIFO,
+    policy="fifo",
     seed: int = 0,
 ) -> list[ScheduledQuery]:
     """Admit queries into a pipelined shared QRAM.
@@ -172,8 +173,7 @@ def verify_fifo_optimality(
     """
     fifo = total_latency(
         schedule_queries(
-            arrivals, service_time, admission_interval, parallelism,
-            SchedulingPolicy.FIFO,
+            arrivals, service_time, admission_interval, parallelism, "fifo",
         )
     )
     ids = [a.query_id for a in sorted(arrivals, key=lambda a: a.request_time)]

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import math
 import random
+import warnings
 
 from repro.core.query import QueryRequest
 from repro.scheduling.fifo import SchedulingPolicy
@@ -148,6 +149,12 @@ _BY_NAME: dict[str, type[AdmissionPolicy]] = {
 }
 
 
+def policy_names() -> tuple[str, ...]:
+    """The accepted admission-policy names, sorted (the ``WorkloadSpec`` /
+    CLI vocabulary)."""
+    return tuple(sorted(_BY_NAME))
+
+
 def as_policy(
     policy: AdmissionPolicy | SchedulingPolicy | str, seed: int = 0
 ) -> AdmissionPolicy:
@@ -155,7 +162,8 @@ def as_policy(
 
     Args:
         policy: a policy object (returned as-is), a deprecated
-            :class:`SchedulingPolicy` enum member, or a name
+            :class:`SchedulingPolicy` enum member (emits a
+            :class:`DeprecationWarning`), or a name
             ("fifo" / "lifo" / "random" / "priority" / "edf").
         seed: RNG seed used when a :class:`RandomPolicy` must be built.
 
@@ -166,6 +174,12 @@ def as_policy(
     if isinstance(policy, AdmissionPolicy):
         return policy
     if isinstance(policy, SchedulingPolicy):
+        warnings.warn(
+            "SchedulingPolicy is deprecated; pass an AdmissionPolicy object "
+            f"or its name (e.g. {policy.value!r}) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         policy = policy.value
     if isinstance(policy, str):
         name = policy.casefold()

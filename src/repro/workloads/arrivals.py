@@ -13,6 +13,8 @@ scheduling streams, raw layers for the serving traces).
 
 from __future__ import annotations
 
+import heapq
+import math
 from collections.abc import Iterator
 
 import numpy as np
@@ -110,6 +112,111 @@ def burst_times(
         burst_spacing: layers between bursts (> 0).
     """
     return list(iter_burst_times(num_bursts, burst_size, burst_spacing))
+
+
+def iter_diurnal_times(
+    num: int,
+    mean_interarrival: float,
+    period: float,
+    amplitude: float = 0.5,
+    seed: int = 0,
+) -> Iterator[float]:
+    """Lazily yield arrival times whose rate follows a sinusoidal cycle.
+
+    A non-homogeneous Poisson stream: each exponential gap (drawn exactly
+    like :func:`iter_exponential_times`, same block size, same stream) is
+    stretched by ``1 - amplitude * sin(2*pi*t / period)`` at the current
+    time ``t``, so the instantaneous rate peaks mid-cycle and bottoms out
+    half a period later — the day/night load swing of a diurnal workload.
+    ``amplitude`` must stay in ``[0, 1)`` so the gap factor stays positive
+    and times remain strictly increasing; ``amplitude=0`` degenerates to a
+    plain Poisson stream over the same RNG draws.
+    """
+    if num < 0:
+        raise ValueError("num must be >= 0")
+    if mean_interarrival <= 0:
+        raise ValueError("mean_interarrival must be positive")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("amplitude must be in [0, 1)")
+
+    def generate() -> Iterator[float]:
+        rng = np.random.default_rng(seed)
+        total = 0.0
+        remaining = num
+        while remaining > 0:
+            block = rng.exponential(
+                mean_interarrival, size=min(remaining, _DRAW_BLOCK)
+            )
+            remaining -= len(block)
+            for gap in block:
+                factor = 1.0 - amplitude * math.sin(
+                    2.0 * math.pi * total / period
+                )
+                total += float(gap) * factor
+                yield total
+
+    return generate()
+
+
+def diurnal_times(
+    num: int,
+    mean_interarrival: float,
+    period: float,
+    amplitude: float = 0.5,
+    seed: int = 0,
+) -> list[float]:
+    """Materialized :func:`iter_diurnal_times` (same stream, same times)."""
+    return list(iter_diurnal_times(num, mean_interarrival, period, amplitude, seed))
+
+
+def iter_flash_crowd_times(
+    num: int,
+    mean_interarrival: float,
+    crowd_time: float,
+    crowd_size: int,
+    crowd_spacing: float = 0.0,
+    seed: int = 0,
+) -> Iterator[float]:
+    """Lazily yield a Poisson baseline with a flash crowd spliced in.
+
+    The baseline is exactly :func:`iter_exponential_times`'s stream of
+    ``num`` arrivals; at ``crowd_time`` a crowd of ``crowd_size`` extra
+    arrivals lands, spaced ``crowd_spacing`` layers apart (``0.0`` = all
+    simultaneous).  The two sorted streams are lazily merged in time
+    order (ties resolved baseline-first), so the total yield is
+    ``num + crowd_size`` arrivals in O(1) memory.
+    """
+    if num < 0 or crowd_size < 0:
+        raise ValueError("num and crowd_size must be >= 0")
+    if mean_interarrival <= 0:
+        raise ValueError("mean_interarrival must be positive")
+    if crowd_time < 0 or crowd_spacing < 0:
+        raise ValueError("crowd_time and crowd_spacing must be >= 0")
+
+    def generate() -> Iterator[float]:
+        baseline = iter_exponential_times(num, mean_interarrival, seed)
+        crowd = (
+            float(crowd_time + k * crowd_spacing) for k in range(crowd_size)
+        )
+        yield from heapq.merge(baseline, crowd)
+
+    return generate()
+
+
+def flash_crowd_times(
+    num: int,
+    mean_interarrival: float,
+    crowd_time: float,
+    crowd_size: int,
+    crowd_spacing: float = 0.0,
+    seed: int = 0,
+) -> list[float]:
+    """Materialized :func:`iter_flash_crowd_times` (same merged stream)."""
+    return list(iter_flash_crowd_times(
+        num, mean_interarrival, crowd_time, crowd_size, crowd_spacing, seed
+    ))
 
 
 def periodic_times(

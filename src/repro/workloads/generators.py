@@ -4,14 +4,20 @@ query traces."""
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.bucket_brigade.tree import validate_capacity
 from repro.core.query import QueryRequest
 from repro.engine.workload import ClosedLoopClient, ClosedLoopSource
-from repro.workloads.arrivals import iter_burst_times, iter_exponential_times
+from repro.workloads.arrivals import (
+    iter_burst_times,
+    iter_diurnal_times,
+    iter_exponential_times,
+    iter_flash_crowd_times,
+    periodic_times,
+)
 
 #: Shard draws per RNG call in :func:`_iter_arrival_trace` — block draws
 #: consume the Generator's stream exactly like scalar draws, so the block
@@ -120,6 +126,26 @@ def shard_aligned_superposition(
     return {a * num_shards + shard: amp for a, amp in local.items()}
 
 
+def _cumulative_weights(
+    weights: Sequence[float], size: int, name: str
+) -> np.ndarray:
+    """Validate a weight vector and return its normalized cumulative sums
+    (the inverse-CDF lookup table for one uniform draw)."""
+    if len(weights) != size:
+        raise ValueError(f"{name} must have length {size}, got {len(weights)}")
+    values = np.asarray([float(w) for w in weights], dtype=np.float64)
+    if np.any(values < 0) or not np.all(np.isfinite(values)):
+        raise ValueError(f"{name} entries must be finite and >= 0")
+    total = float(values.sum())
+    if total <= 0:
+        raise ValueError(f"{name} must have a positive sum")
+    cdf = np.cumsum(values / total)
+    # Pin the final bucket edge to exactly 1.0 so a uniform draw just shy
+    # of 1.0 can never index past the last entry under rounding error.
+    cdf[-1] = 1.0
+    return cdf
+
+
 def _iter_arrival_trace(
     capacity: int,
     times: Iterable[float],
@@ -130,6 +156,9 @@ def _iter_arrival_trace(
     deadline_layers: float | None = None,
     min_fidelity: float | None = None,
     shards: Iterable[int] | None = None,
+    tenant_weights: Sequence[float] | None = None,
+    shard_weights: Sequence[float] | None = None,
+    tenants: Iterable[int] | None = None,
 ) -> Iterator[QueryRequest]:
     """Lazily yield requests at the given arrival times, round-robin over
     tenants and random (shard-aligned) address superpositions.
@@ -145,21 +174,68 @@ def _iter_arrival_trace(
     shard draw advances for skipped queries too), but the expensive
     superposition draw is skipped for everything else.  This is what lets
     a parallel serving worker regenerate only its partition of a trace.
+
+    ``shard_weights`` / ``tenant_weights`` skew the shard draw and the
+    tenant assignment (hot-key and misbehaving-tenant workloads).  Both
+    default to ``None``, which preserves the historical uniform /
+    round-robin streams byte for byte; when set, draws still advance one
+    slot per global position, so the ``shards`` partition filter stays
+    exact.  ``tenants`` (an explicit per-position tenant stream, e.g. the
+    sources of a periodic workload) overrides both.
     """
     owned = None if shards is None else frozenset(int(s) for s in shards)
     rng = np.random.default_rng(seed)
+    shard_cdf = (
+        None
+        if shard_weights is None
+        else _cumulative_weights(shard_weights, num_shards, "shard_weights")
+    )
+    tenant_cdf = (
+        None
+        if tenant_weights is None
+        else _cumulative_weights(tenant_weights, num_tenants, "tenant_weights")
+    )
+    # Weighted tenant draws come from their own derived stream so enabling
+    # them cannot perturb the shard draws (and vice versa).
+    tenant_rng = (
+        None if tenant_cdf is None else np.random.default_rng([seed, 7919])
+    )
+    tenant_stream = None if tenants is None else iter(tenants)
     # Shard draws come in vectorized blocks: a block of n bounded draws
     # consumes the Generator's stream exactly like n scalar draws (pinned
     # in tests/test_vectorized_parity.py), so the trace is byte-identical
     # to the historical per-request draw at a fraction of the RNG cost.
     shard_draws: list[int] = []
+    tenant_draws: list[int] = []
     draw_index = 0
+    tenant_index = 0
     for i, t in enumerate(times):
         if draw_index == len(shard_draws):
-            shard_draws = rng.integers(num_shards, size=_SHARD_DRAW_BLOCK).tolist()
+            if shard_cdf is None:
+                shard_draws = rng.integers(
+                    num_shards, size=_SHARD_DRAW_BLOCK
+                ).tolist()
+            else:
+                shard_draws = np.searchsorted(
+                    shard_cdf, rng.random(_SHARD_DRAW_BLOCK), side="right"
+                ).tolist()
             draw_index = 0
         shard = shard_draws[draw_index]
         draw_index += 1
+        if tenant_stream is not None:
+            tenant = int(next(tenant_stream))
+        elif tenant_cdf is not None and tenant_rng is not None:
+            if tenant_index == len(tenant_draws):
+                tenant_draws = np.searchsorted(
+                    tenant_cdf,
+                    tenant_rng.random(_SHARD_DRAW_BLOCK),
+                    side="right",
+                ).tolist()
+                tenant_index = 0
+            tenant = tenant_draws[tenant_index]
+            tenant_index += 1
+        else:
+            tenant = i % num_tenants
         if owned is not None and shard not in owned:
             continue
         yield QueryRequest(
@@ -168,7 +244,7 @@ def _iter_arrival_trace(
                 capacity, num_shards, shard, addresses_per_query, seed=seed + i
             ),
             request_time=float(t),
-            qpu=i % num_tenants,
+            qpu=tenant,
             deadline=None if deadline_layers is None else float(t) + deadline_layers,
             min_fidelity=min_fidelity,
         )
@@ -185,6 +261,8 @@ def iter_poisson_trace(
     deadline_layers: float | None = None,
     min_fidelity: float | None = None,
     shards: Iterable[int] | None = None,
+    tenant_weights: Sequence[float] | None = None,
+    shard_weights: Sequence[float] | None = None,
 ) -> Iterator[QueryRequest]:
     """Lazily yield the open-loop Poisson trace of :func:`poisson_trace`.
 
@@ -194,14 +272,15 @@ def iter_poisson_trace(
     :class:`~repro.engine.workload.StreamingTraceSource` and a
     million-query trace is generated, served and discarded one request at
     a time.  ``shards`` restricts the stream to those shards' requests
-    without perturbing them (see :func:`_iter_arrival_trace`).
+    without perturbing them, and ``tenant_weights`` / ``shard_weights``
+    skew the tenant/shard draws (see :func:`_iter_arrival_trace`).
     """
     if num_queries < 1:
         raise ValueError("num_queries must be >= 1")
     times = iter_exponential_times(num_queries, mean_interarrival, seed)
     return _iter_arrival_trace(
         capacity, times, addresses_per_query, num_tenants, num_shards, seed,
-        deadline_layers, min_fidelity, shards,
+        deadline_layers, min_fidelity, shards, tenant_weights, shard_weights,
     )
 
 
@@ -215,6 +294,8 @@ def poisson_trace(
     seed: int = 0,
     deadline_layers: float | None = None,
     min_fidelity: float | None = None,
+    tenant_weights: Sequence[float] | None = None,
+    shard_weights: Sequence[float] | None = None,
 ) -> list[QueryRequest]:
     """Open-loop Poisson traffic: exponential interarrival times (raw layers).
 
@@ -226,11 +307,15 @@ def poisson_trace(
     carries the deadline ``arrival + deadline_layers`` for SLO-aware
     serving (EDF admission, shed accounting); with ``min_fidelity`` every
     query carries that fidelity SLO for fidelity-aware serving.
+    ``tenant_weights`` / ``shard_weights`` skew the tenant/shard draws
+    (hot-key and misbehaving-tenant workloads; ``None`` keeps the
+    historical uniform / round-robin streams byte for byte).
     Materializes :func:`iter_poisson_trace`.
     """
     return list(iter_poisson_trace(
         capacity, num_queries, mean_interarrival, addresses_per_query,
         num_tenants, num_shards, seed, deadline_layers, min_fidelity,
+        tenant_weights=tenant_weights, shard_weights=shard_weights,
     ))
 
 
@@ -246,16 +331,19 @@ def iter_bursty_trace(
     deadline_layers: float | None = None,
     min_fidelity: float | None = None,
     shards: Iterable[int] | None = None,
+    tenant_weights: Sequence[float] | None = None,
+    shard_weights: Sequence[float] | None = None,
 ) -> Iterator[QueryRequest]:
     """Lazily yield the bursty trace of :func:`bursty_trace` (same RNG
     streams, O(1) memory; ``shards`` restricts to those shards' requests,
-    see :func:`_iter_arrival_trace`)."""
+    ``tenant_weights`` / ``shard_weights`` skew the draws, see
+    :func:`_iter_arrival_trace`)."""
     if num_bursts < 1 or burst_size < 1:
         raise ValueError("num_bursts and burst_size must be >= 1")
     times = iter_burst_times(num_bursts, burst_size, burst_spacing)
     return _iter_arrival_trace(
         capacity, times, addresses_per_query, num_tenants, num_shards, seed,
-        deadline_layers, min_fidelity, shards,
+        deadline_layers, min_fidelity, shards, tenant_weights, shard_weights,
     )
 
 
@@ -270,6 +358,8 @@ def bursty_trace(
     seed: int = 0,
     deadline_layers: float | None = None,
     min_fidelity: float | None = None,
+    tenant_weights: Sequence[float] | None = None,
+    shard_weights: Sequence[float] | None = None,
 ) -> list[QueryRequest]:
     """Bursty traffic: ``burst_size`` simultaneous requests every
     ``burst_spacing`` raw layers (the stress pattern for window batching).
@@ -277,6 +367,175 @@ def bursty_trace(
     return list(iter_bursty_trace(
         capacity, num_bursts, burst_size, burst_spacing, addresses_per_query,
         num_tenants, num_shards, seed, deadline_layers, min_fidelity,
+        tenant_weights=tenant_weights, shard_weights=shard_weights,
+    ))
+
+
+def iter_diurnal_trace(
+    capacity: int,
+    num_queries: int,
+    mean_interarrival: float,
+    period: float,
+    amplitude: float = 0.5,
+    addresses_per_query: int = 2,
+    num_tenants: int = 1,
+    num_shards: int = 1,
+    seed: int = 0,
+    deadline_layers: float | None = None,
+    min_fidelity: float | None = None,
+    shards: Iterable[int] | None = None,
+    tenant_weights: Sequence[float] | None = None,
+    shard_weights: Sequence[float] | None = None,
+) -> Iterator[QueryRequest]:
+    """Lazily yield a trace whose arrival rate follows a sinusoidal
+    day/night cycle (:func:`~repro.workloads.arrivals.iter_diurnal_times`);
+    everything else — ids, tenants, shard-aligned superpositions, the
+    ``shards`` partition filter — matches :func:`iter_poisson_trace`."""
+    if num_queries < 1:
+        raise ValueError("num_queries must be >= 1")
+    times = iter_diurnal_times(
+        num_queries, mean_interarrival, period, amplitude, seed
+    )
+    return _iter_arrival_trace(
+        capacity, times, addresses_per_query, num_tenants, num_shards, seed,
+        deadline_layers, min_fidelity, shards, tenant_weights, shard_weights,
+    )
+
+
+def diurnal_trace(
+    capacity: int,
+    num_queries: int,
+    mean_interarrival: float,
+    period: float,
+    amplitude: float = 0.5,
+    addresses_per_query: int = 2,
+    num_tenants: int = 1,
+    num_shards: int = 1,
+    seed: int = 0,
+    deadline_layers: float | None = None,
+    min_fidelity: float | None = None,
+    tenant_weights: Sequence[float] | None = None,
+    shard_weights: Sequence[float] | None = None,
+) -> list[QueryRequest]:
+    """Materialized :func:`iter_diurnal_trace` (same streams)."""
+    return list(iter_diurnal_trace(
+        capacity, num_queries, mean_interarrival, period, amplitude,
+        addresses_per_query, num_tenants, num_shards, seed, deadline_layers,
+        min_fidelity, tenant_weights=tenant_weights,
+        shard_weights=shard_weights,
+    ))
+
+
+def iter_flash_crowd_trace(
+    capacity: int,
+    num_queries: int,
+    mean_interarrival: float,
+    crowd_time: float,
+    crowd_size: int,
+    crowd_spacing: float = 0.0,
+    addresses_per_query: int = 2,
+    num_tenants: int = 1,
+    num_shards: int = 1,
+    seed: int = 0,
+    deadline_layers: float | None = None,
+    min_fidelity: float | None = None,
+    shards: Iterable[int] | None = None,
+    tenant_weights: Sequence[float] | None = None,
+    shard_weights: Sequence[float] | None = None,
+) -> Iterator[QueryRequest]:
+    """Lazily yield a Poisson-baseline trace with a flash crowd of
+    ``crowd_size`` extra requests landing at ``crowd_time``
+    (:func:`~repro.workloads.arrivals.iter_flash_crowd_times`); the total
+    trace carries ``num_queries + crowd_size`` requests and everything
+    else matches :func:`iter_poisson_trace`."""
+    if num_queries < 1:
+        raise ValueError("num_queries must be >= 1")
+    times = iter_flash_crowd_times(
+        num_queries, mean_interarrival, crowd_time, crowd_size,
+        crowd_spacing, seed,
+    )
+    return _iter_arrival_trace(
+        capacity, times, addresses_per_query, num_tenants, num_shards, seed,
+        deadline_layers, min_fidelity, shards, tenant_weights, shard_weights,
+    )
+
+
+def flash_crowd_trace(
+    capacity: int,
+    num_queries: int,
+    mean_interarrival: float,
+    crowd_time: float,
+    crowd_size: int,
+    crowd_spacing: float = 0.0,
+    addresses_per_query: int = 2,
+    num_tenants: int = 1,
+    num_shards: int = 1,
+    seed: int = 0,
+    deadline_layers: float | None = None,
+    min_fidelity: float | None = None,
+    tenant_weights: Sequence[float] | None = None,
+    shard_weights: Sequence[float] | None = None,
+) -> list[QueryRequest]:
+    """Materialized :func:`iter_flash_crowd_trace` (same streams)."""
+    return list(iter_flash_crowd_trace(
+        capacity, num_queries, mean_interarrival, crowd_time, crowd_size,
+        crowd_spacing, addresses_per_query, num_tenants, num_shards, seed,
+        deadline_layers, min_fidelity, tenant_weights=tenant_weights,
+        shard_weights=shard_weights,
+    ))
+
+
+def iter_periodic_trace(
+    capacity: int,
+    num_sources: int,
+    rounds: int,
+    period: float,
+    stagger: float = 0.0,
+    addresses_per_query: int = 2,
+    num_shards: int = 1,
+    seed: int = 0,
+    deadline_layers: float | None = None,
+    min_fidelity: float | None = None,
+    shards: Iterable[int] | None = None,
+) -> Iterator[QueryRequest]:
+    """Lazily yield the periodic open-loop trace of :func:`periodic_trace`.
+
+    ``num_sources`` staggered sources each issue every ``period`` layers
+    (:func:`~repro.workloads.arrivals.periodic_times`); each source is its
+    own tenant, arrivals are sorted by ``(time, source)`` and ids assigned
+    in that order, and addresses/shard draws follow the shared trace core
+    (so the ``shards`` partition filter stays exact).
+    """
+    if num_sources < 1 or rounds < 1:
+        raise ValueError("num_sources and rounds must be >= 1")
+    pairs = sorted(
+        periodic_times(num_sources, rounds, period, stagger),
+        key=lambda pair: (pair[0], pair[1]),
+    )
+    times = [t for t, _ in pairs]
+    sources = [source for _, source in pairs]
+    return _iter_arrival_trace(
+        capacity, times, addresses_per_query, num_sources, num_shards, seed,
+        deadline_layers, min_fidelity, shards, tenants=sources,
+    )
+
+
+def periodic_trace(
+    capacity: int,
+    num_sources: int,
+    rounds: int,
+    period: float,
+    stagger: float = 0.0,
+    addresses_per_query: int = 2,
+    num_shards: int = 1,
+    seed: int = 0,
+    deadline_layers: float | None = None,
+    min_fidelity: float | None = None,
+) -> list[QueryRequest]:
+    """Materialized :func:`iter_periodic_trace` (same streams)."""
+    return list(iter_periodic_trace(
+        capacity, num_sources, rounds, period, stagger, addresses_per_query,
+        num_shards, seed, deadline_layers, min_fidelity,
     ))
 
 

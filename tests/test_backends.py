@@ -246,16 +246,25 @@ def test_service_priority_policy_admits_high_priority_first():
 
 
 def test_policy_coercion_accepts_legacy_enum_and_names():
-    assert isinstance(as_policy(SchedulingPolicy.FIFO), FIFOPolicy)
+    with pytest.warns(DeprecationWarning, match="SchedulingPolicy is deprecated"):
+        assert isinstance(as_policy(SchedulingPolicy.FIFO), FIFOPolicy)
     assert isinstance(as_policy("fifo"), FIFOPolicy)
-    assert as_policy(SchedulingPolicy.LIFO).name == "lifo"
-    assert SchedulingPolicy.RANDOM.to_policy(seed=3).name == "random"
+    with pytest.warns(DeprecationWarning):
+        assert as_policy(SchedulingPolicy.LIFO).name == "lifo"
+    with pytest.warns(DeprecationWarning):
+        assert SchedulingPolicy.RANDOM.to_policy(seed=3).name == "random"
     existing = PriorityPolicy()
     assert as_policy(existing) is existing
     with pytest.raises(KeyError):
         as_policy("deadline")
     with pytest.raises(TypeError):
         as_policy(42)
+
+
+def test_policy_names_vocabulary():
+    from repro.scheduling.policy import policy_names
+
+    assert policy_names() == ("edf", "fifo", "lifo", "priority", "random")
 
 
 # -------------------------------------------------------- predicted fidelity

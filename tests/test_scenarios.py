@@ -1,0 +1,546 @@
+"""The declarative scenario layer: validation, round-trips, bit-identity.
+
+Four pillars:
+
+* **field-precise validation** — every bad field raises a
+  :class:`~repro.scenarios.SpecError` naming ``Class.field``, and fields
+  a workload kind ignores cannot carry non-default values;
+* **JSON round-trips** — ``to_dict``/``from_dict`` and
+  ``to_json``/``from_json`` reproduce every spec exactly, and unknown
+  keys are rejected at every section;
+* **bit-identity** — for every ported example scenario, the spec-built
+  run produces the *identical* ``ServiceReport`` the original
+  hand-wired construction produces (the tentpole contract: the
+  declarative layer adds vocabulary, never behaviour);
+* **characterization** — each adversarial library scenario
+  deterministically reproduces its pinned accounting signature.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    AutoscalerConfig,
+    QRAMService,
+    ServiceEngine,
+    StreamingTraceSource,
+    TraceSource,
+    backend_names,
+)
+from repro.engine import PartitionedTraceSource
+from repro.hardware.parameters import TABLE3_PARAMETERS
+from repro.metrics.sinks import JsonlSink
+from repro.scenarios import (
+    FleetSpec,
+    PolicySpec,
+    RunSpec,
+    ScenarioSpec,
+    SpecError,
+    WorkloadSpec,
+    library_names,
+    library_scenario,
+)
+from repro.workloads import (
+    bursty_trace,
+    closed_loop_source,
+    iter_poisson_trace,
+    poisson_trace,
+    random_data,
+)
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _example(name: str):
+    """Load one ``examples/`` module by file path (they are not a package)."""
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+# ------------------------------------------------------------------ validation
+class TestFleetSpecValidation:
+    def test_capacity_must_be_power_of_two(self):
+        with pytest.raises(SpecError, match="FleetSpec.capacity"):
+            FleetSpec(capacity=24)
+        with pytest.raises(SpecError, match="FleetSpec.capacity"):
+            FleetSpec(capacity=0)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SpecError, match="FleetSpec.shards"):
+            FleetSpec(capacity=16, shards=("Fat-Tree", "NoSuchTree"))
+
+    def test_unencodable_distance_rejected(self):
+        with pytest.raises(SpecError, match="FleetSpec.shards"):
+            FleetSpec(capacity=16, shards=("Fat-Tree@dX",))
+
+    def test_interleaved_divisibility(self):
+        with pytest.raises(SpecError, match="interleaved"):
+            FleetSpec(capacity=16, shards=("Fat-Tree",) * 3)
+        # The same shard count is fine replicated.
+        FleetSpec(
+            capacity=16, shards=("Fat-Tree",) * 3, placement="shortest-queue"
+        )
+
+    def test_bad_placement(self):
+        with pytest.raises(SpecError, match="FleetSpec.placement"):
+            FleetSpec(capacity=16, placement="round-robin")
+
+    def test_bad_data_pattern_and_density(self):
+        with pytest.raises(SpecError, match="FleetSpec.data "):
+            FleetSpec(capacity=16, data="striped")
+        with pytest.raises(SpecError, match="FleetSpec.data_density"):
+            FleetSpec(capacity=16, data="random", data_density=1.5)
+
+    def test_bad_window_size(self):
+        with pytest.raises(SpecError, match="FleetSpec.window_size"):
+            FleetSpec(capacity=16, window_size=0)
+
+
+class TestWorkloadSpecValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(SpecError, match="WorkloadSpec.kind"):
+            WorkloadSpec(kind="tsunami")
+
+    def test_inapplicable_field_rejected(self):
+        with pytest.raises(SpecError, match="WorkloadSpec.crowd_size"):
+            WorkloadSpec(
+                kind="poisson", num_queries=10, mean_interarrival=5.0,
+                crowd_size=3,
+            )
+        with pytest.raises(SpecError, match="WorkloadSpec.think_layers"):
+            WorkloadSpec(
+                kind="bursty", num_bursts=2, burst_size=4, burst_spacing=10.0,
+                think_layers=5.0,
+            )
+
+    def test_kind_positivity(self):
+        with pytest.raises(SpecError, match="WorkloadSpec.num_queries"):
+            WorkloadSpec(kind="poisson", num_queries=0, mean_interarrival=5.0)
+        with pytest.raises(SpecError, match="WorkloadSpec.mean_interarrival"):
+            WorkloadSpec(kind="poisson", num_queries=10, mean_interarrival=0.0)
+        with pytest.raises(SpecError, match="WorkloadSpec.crowd_size"):
+            WorkloadSpec(
+                kind="flash-crowd", num_queries=10, mean_interarrival=5.0,
+                crowd_size=0,
+            )
+
+    def test_diurnal_amplitude_range(self):
+        with pytest.raises(SpecError, match="WorkloadSpec.amplitude"):
+            WorkloadSpec(
+                kind="diurnal", num_queries=10, mean_interarrival=5.0,
+                period=100.0, amplitude=1.0,
+            )
+
+    def test_closed_loop_requires_trace_delivery(self):
+        with pytest.raises(SpecError, match="WorkloadSpec.delivery"):
+            WorkloadSpec(
+                kind="closed-loop", num_clients=2, queries_per_client=3,
+                delivery="streaming",
+            )
+
+    def test_replay_requires_path(self):
+        with pytest.raises(SpecError, match="WorkloadSpec.path"):
+            WorkloadSpec(kind="replay")
+
+    def test_tenant_weights_length(self):
+        with pytest.raises(SpecError, match="WorkloadSpec.tenant_weights"):
+            WorkloadSpec(
+                kind="poisson", num_queries=10, mean_interarrival=5.0,
+                num_tenants=3, tenant_weights=(0.5, 0.5),
+            )
+
+    def test_min_fidelity_range(self):
+        with pytest.raises(SpecError, match="WorkloadSpec.min_fidelity"):
+            WorkloadSpec(
+                kind="poisson", num_queries=10, mean_interarrival=5.0,
+                min_fidelity=1.5,
+            )
+
+    def test_deadline_positive(self):
+        with pytest.raises(SpecError, match="WorkloadSpec.deadline_layers"):
+            WorkloadSpec(
+                kind="poisson", num_queries=10, mean_interarrival=5.0,
+                deadline_layers=0.0,
+            )
+
+
+class TestPolicyRunValidation:
+    def test_unknown_admission(self):
+        with pytest.raises(SpecError, match="PolicySpec.admission"):
+            PolicySpec(admission="fair-share")
+
+    def test_bad_queue_depth(self):
+        with pytest.raises(SpecError, match="PolicySpec.max_queue_depth"):
+            PolicySpec(max_queue_depth=0)
+
+    def test_bad_retention(self):
+        with pytest.raises(SpecError, match="RunSpec.retention"):
+            RunSpec(retention="some")
+
+    def test_bad_clops_workers_telemetry(self):
+        with pytest.raises(SpecError, match="RunSpec.clops"):
+            RunSpec(clops=0.0)
+        with pytest.raises(SpecError, match="RunSpec.workers"):
+            RunSpec(workers=-1)
+        with pytest.raises(SpecError, match="RunSpec.telemetry_interval"):
+            RunSpec(telemetry_interval=0.0)
+
+    def test_autoscaler_needs_shortest_queue(self):
+        config = AutoscalerConfig(
+            period=100.0, high_watermark=4, low_watermark=0,
+            min_shards=1, max_shards=2,
+        )
+        with pytest.raises(SpecError, match="shortest-queue"):
+            ScenarioSpec(
+                fleet=FleetSpec(capacity=16),
+                workload=WorkloadSpec(
+                    kind="poisson", num_queries=5, mean_interarrival=5.0
+                ),
+                policy=PolicySpec(autoscaler=config),
+            )
+
+    def test_shard_weights_must_match_fleet(self):
+        with pytest.raises(SpecError, match="WorkloadSpec.shard_weights"):
+            ScenarioSpec(
+                fleet=FleetSpec(capacity=16, shards=("Fat-Tree", "Fat-Tree")),
+                workload=WorkloadSpec(
+                    kind="poisson", num_queries=5, mean_interarrival=5.0,
+                    shard_weights=(0.5, 0.3, 0.2),
+                ),
+            )
+
+
+# ----------------------------------------------------------------- round-trip
+def _scenario_corpus() -> dict[str, ScenarioSpec]:
+    corpus = {name: library_scenario(name) for name in library_names()}
+    corpus["maximal"] = ScenarioSpec(
+        name="maximal",
+        fleet=FleetSpec(
+            capacity=32,
+            shards=("Fat-Tree", "Fat-Tree@d3", "BB"),
+            placement="shortest-queue",
+            window_size=2,
+            functional=False,
+            data="random",
+            data_seed=9,
+            data_density=0.25,
+            parameters=TABLE3_PARAMETERS[1e-4],
+        ),
+        workload=WorkloadSpec(
+            kind="poisson",
+            num_queries=7,
+            mean_interarrival=11.0,
+            num_tenants=2,
+            seed=42,
+            deadline_layers=500.0,
+            min_fidelity=0.5,
+            tenant_weights=(0.75, 0.25),
+            shard_weights=(1.0,),
+            delivery="streaming",
+        ),
+        policy=PolicySpec(
+            admission="random",
+            admission_seed=13,
+            max_queue_depth=5,
+            shed_expired=True,
+            autoscaler=AutoscalerConfig(
+                period=50.0, high_watermark=3, low_watermark=1,
+                min_shards=1, max_shards=4,
+            ),
+        ),
+        run=RunSpec(
+            retention="sampled",
+            sample_size=8,
+            sample_seed=3,
+            telemetry_interval=250.0,
+            max_distillation_copies=2,
+            workers=0,
+            sanitize=True,
+            clops=2.0e6,
+        ),
+    )
+    return corpus
+
+
+@pytest.mark.parametrize("name", [*library_names(), "maximal"])
+def test_round_trip(name):
+    spec = _scenario_corpus()[name]
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+@pytest.mark.parametrize(
+    "section", ["top", "fleet", "workload", "policy", "run"]
+)
+def test_unknown_keys_rejected(section):
+    payload = library_scenario("flash-crowd").to_dict()
+    if section == "top":
+        payload["extra"] = 1
+        expected = "ScenarioSpec"
+    else:
+        payload[section][f"{section}_extra"] = 1
+        expected = {
+            "fleet": "FleetSpec", "workload": "WorkloadSpec",
+            "policy": "PolicySpec", "run": "RunSpec",
+        }[section]
+    with pytest.raises(SpecError, match=f"unknown {expected} key"):
+        ScenarioSpec.from_dict(payload)
+
+
+def test_nested_config_unknown_keys_rejected():
+    payload = ScenarioSpec(
+        fleet=FleetSpec(capacity=16, parameters=TABLE3_PARAMETERS[1e-4]),
+        workload=WorkloadSpec(
+            kind="poisson", num_queries=4, mean_interarrival=5.0
+        ),
+    ).to_dict()
+    payload["fleet"]["parameters"]["epsilon_zero"] = 1.0
+    with pytest.raises(SpecError, match="FleetSpec.parameters"):
+        ScenarioSpec.from_dict(payload)
+
+
+def test_missing_required_sections():
+    with pytest.raises(SpecError, match="'fleet' and 'workload'"):
+        ScenarioSpec.from_dict({"name": "empty"})
+
+
+# --------------------------------------------------- example bit-identity
+def test_serving_traffic_bit_identity():
+    spec = _example("serving_traffic").SCENARIOS["traffic"]
+    service = QRAMService(16, num_shards=2, data=random_data(16, seed=1))
+    trace = poisson_trace(
+        16, 100, mean_interarrival=8.0, num_tenants=3, num_shards=2, seed=7
+    )
+    assert spec.execute() == service.serve(trace)
+
+
+def test_serving_closed_loop_bit_identity():
+    scenarios = _example("serving_closed_loop").SCENARIOS
+
+    service = QRAMService(16, num_shards=2, data=random_data(16, seed=1))
+    trace = poisson_trace(
+        16, 40, mean_interarrival=8.0, num_tenants=4, num_shards=2, seed=7
+    )
+    assert scenarios["open-loop"].execute() == service.serve(trace)
+
+    service = QRAMService(16, num_shards=2, functional=False)
+    source = closed_loop_source(
+        16, num_clients=4, queries_per_client=8, think_layers=60.0,
+        num_shards=2, seed=3,
+    )
+    assert scenarios["closed-loop"].execute() == service.serve_workload(source)
+
+    service = QRAMService(16, num_shards=2, functional=False, policy="edf")
+    trace = poisson_trace(
+        16, 60, mean_interarrival=2.0, num_tenants=4, num_shards=2, seed=5,
+        deadline_layers=180.0,
+    )
+    assert scenarios["slo-aware"].execute() == service.serve_workload(
+        TraceSource(trace), max_queue_depth=6, shed_expired=True
+    )
+
+    service = QRAMService(
+        16, num_shards=1, functional=False, placement="shortest-queue"
+    )
+    trace = bursty_trace(16, 2, 12, 40_000.0)
+    config = AutoscalerConfig(
+        period=100.0, high_watermark=4, low_watermark=0,
+        min_shards=1, max_shards=3,
+    )
+    report = service.serve_workload(TraceSource(trace), autoscaler=config)
+    assert scenarios["elastic"].execute() == report
+    assert any(event.action == "up" for event in report.scale_events)
+
+
+def test_serving_mixed_backends_bit_identity():
+    scenarios = _example("serving_mixed_backends").SCENARIOS
+
+    data = random_data(32, seed=1)
+    service = QRAMService(
+        32, num_shards=4, data=data,
+        architectures=["Fat-Tree", "Fat-Tree", "BB", "Virtual"],
+    )
+    trace = poisson_trace(
+        32, 60, mean_interarrival=6.0, num_tenants=3, num_shards=4, seed=7
+    )
+    assert scenarios["interleaved"].execute() == service.serve(trace)
+
+    fleet = backend_names()
+    service = QRAMService(
+        32, num_shards=len(fleet), data=data, architectures=fleet,
+        placement="shortest-queue", functional=False,
+    )
+    trace = poisson_trace(
+        32, 60, mean_interarrival=3.0, num_tenants=3, num_shards=1, seed=11
+    )
+    assert scenarios["replicated"].execute() == service.serve(trace)
+
+
+def test_serving_fidelity_slo_bit_identity():
+    scenarios = _example("serving_fidelity_slo").SCENARIOS
+    params = TABLE3_PARAMETERS[1e-4]
+
+    service = QRAMService(
+        16, num_shards=2, functional=False, parameters=params
+    )
+    trace = poisson_trace(
+        16, 24, mean_interarrival=10.0, num_tenants=3, num_shards=2, seed=7
+    )
+    assert scenarios["predicted-fidelity"].execute() == service.serve(trace)
+
+    service = QRAMService(
+        16, num_shards=2, functional=False,
+        architectures=["Fat-Tree", "Fat-Tree@d3"],
+        placement="shortest-queue", parameters=params,
+    )
+    trace = poisson_trace(
+        16, 24, mean_interarrival=40.0, num_tenants=3, seed=5,
+        min_fidelity=0.995,
+    )
+    assert scenarios["mixed-encoded"].execute() == service.serve_workload(
+        TraceSource(trace)
+    )
+
+    service = QRAMService(
+        16, num_shards=1, functional=False, parameters=params
+    )
+    solo = service.shards[0].predicted_query_fidelity()
+    target = 1.0 - (1.0 - solo) ** 2 * 2.0
+    trace = poisson_trace(
+        16, 12, mean_interarrival=120.0, seed=3, min_fidelity=target
+    )
+    report = service.serve_workload(
+        TraceSource(trace), max_distillation_copies=4
+    )
+    assert scenarios["distillation-retry"].execute() == report
+    assert all(r.distillation_copies == 2 for r in report.served)
+
+
+def test_serving_parallel_bit_identity():
+    scenarios = _example("serving_parallel").SCENARIOS
+
+    service = QRAMService(16, num_shards=4, data=random_data(16, seed=3))
+    requests = poisson_trace(
+        16, 48, mean_interarrival=6.0, num_tenants=3, num_shards=4, seed=11
+    )
+    oracle = ServiceEngine(service, workers=0).run(TraceSource(requests))
+    assert scenarios["oracle"].execute() == oracle
+
+    def factory(shards=None):
+        return iter_poisson_trace(
+            16, 48, mean_interarrival=6.0, num_tenants=3, num_shards=4,
+            seed=11, shards=shards,
+        )
+
+    service = QRAMService(16, num_shards=4, data=random_data(16, seed=3))
+    lazy = ServiceEngine(service, workers=2, retention="none").run(
+        PartitionedTraceSource(factory)
+    )
+    assert scenarios["lazy-partitioned"].execute() == lazy
+
+    fallback = scenarios["fallback"].execute()
+    assert fallback.parallel is not None
+    assert fallback.parallel.workers == 0
+    assert fallback.parallel.fallback_reason is not None
+
+
+def test_serving_scale_telemetry_bit_identity():
+    spec = _example("serving_scale_telemetry").SCENARIOS["telemetry"]
+    trace = iter_poisson_trace(
+        16, 20_000, mean_interarrival=16.0, addresses_per_query=1,
+        num_tenants=4, num_shards=2, seed=5,
+    )
+    service = QRAMService(16, num_shards=2, functional=False)
+    report = service.serve_workload(
+        StreamingTraceSource(trace), retention="none",
+        telemetry_interval=10_000.0,
+    )
+    assert spec.execute() == report
+    assert report.served == [] and len(report.telemetry) >= 12
+
+
+# ------------------------------------------------------------ library pins
+#: The deterministic accounting signature of each adversarial scenario.
+_LIBRARY_PINS = {
+    "diurnal-cycle": dict(offered=120, served=120, rejected=0, shed=0),
+    "flash-crowd": dict(offered=120, served=76, rejected=44, shed=0),
+    "hot-key-skew": dict(offered=120, served=120, rejected=0, shed=0),
+    "misbehaving-tenant": dict(offered=150, served=53, rejected=97, shed=0),
+    "deadline-impossible": dict(offered=80, served=24, rejected=0, shed=56),
+}
+
+
+@pytest.mark.parametrize("name", sorted(_LIBRARY_PINS))
+def test_library_characterization(name):
+    pins = _LIBRARY_PINS[name]
+    stats = library_scenario(name).execute().stats
+    assert stats.offered_queries == pins["offered"]
+    assert stats.total_queries == pins["served"]
+    assert stats.rejected_queries == pins["rejected"]
+    assert stats.shed_queries == pins["shed"]
+
+
+def test_library_signatures():
+    """Each scenario stresses what its name says."""
+    skew = library_scenario("hot-key-skew").execute().stats.per_shard
+    hot = max(skew.values(), key=lambda s: s.queries)
+    assert hot.queries >= 101  # 85% weight on one of four shards
+
+    tenants = library_scenario("misbehaving-tenant").execute().stats.per_tenant
+    flooder = tenants[0]
+    assert flooder.queries > sum(
+        t.queries for tenant, t in tenants.items() if tenant != 0
+    )
+
+    impossible = library_scenario("deadline-impossible").execute().stats
+    assert impossible.deadline_misses >= impossible.shed_queries
+    assert impossible.total_queries > 0
+
+    with pytest.raises(KeyError, match="unknown library scenario"):
+        library_scenario("unknown-name")
+
+
+# ------------------------------------------------------------------- replay
+def test_jsonl_replay_round_trip(tmp_path):
+    """A recorded run replays through WorkloadSpec(kind='replay')."""
+    base = library_scenario("flash-crowd")
+    path = tmp_path / "recorded.jsonl"
+    with JsonlSink(str(path)) as sink:
+        recorded = base.execute(sink=sink)
+
+    replay = ScenarioSpec(
+        name="replayed",
+        fleet=base.fleet,
+        workload=WorkloadSpec(
+            kind="replay", path=str(path), addresses_per_query=1, seed=0
+        ),
+        policy=base.policy,
+    )
+    report = replay.execute()
+    stats = report.stats
+    # Served + rejected arrivals of the original run are re-offered.
+    assert stats.offered_queries == (
+        recorded.stats.total_queries + recorded.stats.rejected_queries
+    )
+    assert stats.offered_queries == (
+        stats.total_queries + stats.rejected_queries + stats.shed_queries
+    )
+    # Replay is deterministic.
+    assert replay.execute() == report
+
+
+def test_replay_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    spec = ScenarioSpec(
+        fleet=FleetSpec(capacity=16),
+        workload=WorkloadSpec(kind="replay", path=str(path)),
+    )
+    with pytest.raises(SpecError, match="no replayable records"):
+        spec.execute()

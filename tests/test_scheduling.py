@@ -7,7 +7,6 @@ from repro.baselines import build_architecture
 from repro.scheduling import (
     AlgorithmWorkload,
     QRAMServiceModel,
-    SchedulingPolicy,
     SharedQRAMSimulation,
     burst_arrivals,
     periodic_algorithm_arrivals,
@@ -68,9 +67,9 @@ def test_fifo_is_optimal_for_random_workloads():
 def test_fifo_not_worse_than_other_policies():
     arrivals = random_arrivals(8, 10.0, seed=7)
     fifo = total_latency(schedule_queries(arrivals, 24.625, 8.25, 3))
-    lifo = total_latency(schedule_queries(arrivals, 24.625, 8.25, 3, SchedulingPolicy.LIFO))
+    lifo = total_latency(schedule_queries(arrivals, 24.625, 8.25, 3, "lifo"))
     rnd = total_latency(
-        schedule_queries(arrivals, 24.625, 8.25, 3, SchedulingPolicy.RANDOM, seed=5)
+        schedule_queries(arrivals, 24.625, 8.25, 3, "random", seed=5)
     )
     assert fifo <= lifo + 1e-9
     assert fifo <= rnd + 1e-9

@@ -4,7 +4,6 @@ import pytest
 
 from repro import QRAMService
 from repro.core.query import QueryRequest
-from repro.scheduling.fifo import SchedulingPolicy
 from repro.service.sharding import InterleavedShardMap
 from repro.workloads import (
     bursty_trace,
@@ -120,7 +119,7 @@ def test_service_policies_differ_under_backlog():
         capacity, num_bursts=1, burst_size=12, burst_spacing=100.0, num_shards=2, seed=4
     )
     latencies = {}
-    for policy in (SchedulingPolicy.FIFO, SchedulingPolicy.LIFO):
+    for policy in ("fifo", "lifo"):
         service = QRAMService(capacity, num_shards=2, policy=policy, functional=False)
         report = service.serve(trace)
         latencies[policy] = report.stats.mean_latency_layers
@@ -128,7 +127,7 @@ def test_service_policies_differ_under_backlog():
     # FIFO minimises total latency (Sec. A.2); with a simultaneous burst the
     # two policies reorder admissions but the mean latency of FIFO is never
     # worse.
-    assert latencies[SchedulingPolicy.FIFO] <= latencies[SchedulingPolicy.LIFO] + 1e-9
+    assert latencies["fifo"] <= latencies["lifo"] + 1e-9
 
 
 def test_service_per_tenant_and_per_shard_stats():
