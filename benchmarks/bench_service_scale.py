@@ -98,10 +98,13 @@ repro.perf.profiler.host_clock = time.perf_counter
 #: ``null`` so consumers can rely on one uniform row shape, and new rows
 #: are checked against the full schema before being appended.
 ROW_SCHEMA = (
+    "label",
     "cpu_count",
     "requests",
+    "workers",
     "wall_seconds",
     "requests_per_sec",
+    "requests_per_second",
     "peak_rss_mib",
     "retention",
     "makespan_layers",
@@ -113,6 +116,17 @@ ROW_SCHEMA = (
     "bounded_memory_check",
     "workers_axis",
     "profiled",
+)
+
+#: Keys every *new* row must populate at write time.  Historical rows
+#: predate them and keep their backfilled ``null``; a fresh measurement
+#: recording ``null`` here is a writer bug (the regression this guards
+#: against: rows appended with labels/worker counts silently missing).
+NON_NULL_KEYS = (
+    "label",
+    "workers",
+    "requests_per_sec",
+    "requests_per_second",
 )
 
 
@@ -251,15 +265,25 @@ def run_scale(num_requests: int) -> dict:
     if report.profile is not None:
         print("stage profile (headline run):")
         print(report.profile.table())
+        if report.cache_stats is not None:
+            print(report.cache_stats.summary())
 
     # ru_maxrss is KiB on Linux but bytes on macOS.
     rss_raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     per_mib = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    info = report.parallel
+    requests_per_sec = round(num_requests / wall_seconds, 1)
     return {
+        "label": os.environ.get(
+            "QRAM_SCALE_LABEL", f"scale-{num_requests}"
+        ),
         "cpu_count": os.cpu_count(),
         "requests": num_requests,
+        # Worker processes the headline run used (1 = in-process serial).
+        "workers": info.workers if info is not None else 1,
         "wall_seconds": round(wall_seconds, 3),
-        "requests_per_sec": round(num_requests / wall_seconds, 1),
+        "requests_per_sec": requests_per_sec,
+        "requests_per_second": requests_per_sec,
         "peak_rss_mib": round(rss_raw / per_mib, 1),
         "retention": "none",
         "makespan_layers": stats.makespan_layers,
@@ -344,12 +368,18 @@ def _normalize_trajectory(runs: list[dict]) -> list[dict]:
 
 
 def _check_row(row: dict) -> None:
-    """A freshly measured row must carry the full schema, nothing ad hoc."""
+    """A freshly measured row must carry the full schema, nothing ad hoc —
+    and must actually populate the keys only historical rows may null."""
     missing = [key for key in ROW_SCHEMA if key not in row]
     extra = [key for key in row if key not in ROW_SCHEMA]
     assert not missing and not extra, (
         f"trajectory row schema drift: missing={missing} extra={extra} — "
         f"update ROW_SCHEMA alongside run_scale()"
+    )
+    nulled = [key for key in NON_NULL_KEYS if row[key] is None]
+    assert not nulled, (
+        f"new trajectory row records null for {nulled} — these keys must "
+        f"be populated at write time (only historical rows stay null)"
     )
 
 
@@ -361,9 +391,24 @@ def test_trajectory_row_schema():
     assert set(legacy) == set(ROW_SCHEMA)
     assert legacy["requests"] == 10 and legacy["requests_per_sec"] == 1.0
     assert legacy["cpu_count"] is None and legacy["workers_axis"] is None
-    _check_row(legacy)
+    # Historical rows may stay null; a *new* row must populate the
+    # write-time keys, so the normalized legacy shape itself no longer
+    # passes the new-row check.
     try:
-        _check_row({**legacy, "ad_hoc": 1})
+        _check_row(legacy)
+    except AssertionError:
+        pass
+    else:  # pragma: no cover - the check must reject null write-time keys
+        raise AssertionError("null label/workers went undetected")
+    fresh = {
+        **legacy,
+        "label": "scale-10",
+        "workers": 1,
+        "requests_per_second": 1.0,
+    }
+    _check_row(fresh)
+    try:
+        _check_row({**fresh, "ad_hoc": 1})
     except AssertionError:
         pass
     else:  # pragma: no cover - the check must reject drift

@@ -88,7 +88,7 @@ from repro.metrics.service_stats import (
 from repro.metrics.sinks import ListSink, NullSink, RecordSink, SamplingSink
 from repro.metrics.streaming import IntervalStats, StreamingServiceAggregator
 from repro.perf.profiler import HotPathProfiler, StageProfile, env_profile
-from repro.schedule_cache import default_registry
+from repro.schedule_cache import CacheStats, default_registry
 
 #: Retention modes for the engine's per-request records.
 RETENTIONS = ("full", "sampled", "none")
@@ -262,6 +262,15 @@ class ServiceReport:
             otherwise.  Excluded from equality like ``parallel`` —
             profiling is observational and must never make two otherwise
             identical reports differ.
+        cache_stats: snapshot of the process-wide
+            :class:`~repro.schedule_cache.ScheduleCacheRegistry` counters
+            taken when the report was built, so per-run cache hit-rates
+            are observable outside benchmarks (printed next to the
+            ``REPRO_PROFILE=1`` stage table).  Counters are process-wide
+            and monotone — compare two snapshots with
+            :meth:`~repro.schedule_cache.CacheStats.delta`.  Excluded
+            from equality like ``parallel``: cache warmth affects speed,
+            never results.
     """
 
     served: list[ServedQuery]
@@ -276,6 +285,9 @@ class ServiceReport:
         default=None, repr=False, compare=False
     )
     profile: StageProfile | None = field(default=None, repr=False, compare=False)
+    cache_stats: CacheStats | None = field(
+        default=None, repr=False, compare=False
+    )
     _result_index: dict[int, ServedQuery] | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -720,6 +732,7 @@ class ServiceEngine:
             profile=(
                 self._profiler.snapshot() if self._profiler is not None else None
             ),
+            cache_stats=default_registry().stats(),
         )
 
     # ----------------------------------------------- source-facing scheduling

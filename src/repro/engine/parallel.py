@@ -49,11 +49,9 @@ deterministic across worker counts too.
 from __future__ import annotations
 
 import math
-import multiprocessing
 from collections.abc import Callable
 from dataclasses import dataclass
 from itertools import chain
-from multiprocessing.connection import Connection
 from typing import TYPE_CHECKING, Any
 
 from repro.core.query import QueryRequest
@@ -63,6 +61,7 @@ from repro.engine.partition import (
     PartitionedTraceSource,
     split_trace,
 )
+from repro.engine.pool import ForkWorkerPool, fork_available
 from repro.engine.workload import StreamingTraceSource, TraceSource, WorkloadSource
 from repro.metrics.service_stats import (
     RejectedQuery,
@@ -76,6 +75,7 @@ from repro.metrics.streaming import (
     merge_service_aggregators,
 )
 from repro.perf.profiler import StageProfile
+from repro.schedule_cache import default_registry
 
 if TYPE_CHECKING:
     from repro.engine.core import ServiceEngine, ServiceReport
@@ -177,42 +177,24 @@ def _run_shard(
     )
 
 
-def _worker_main(
-    conn: Connection,
-    engine: ServiceEngine,
-    shards: list[int],
-    buckets: list[list[QueryRequest]] | None,
-    partitioned: PartitionedTraceSource | None,
-) -> None:
-    """Forked worker body: serve a group of shards, ship the outcomes back."""
-    current = shards[0]
-    clock = host_clock
-    try:
-        started = clock() if clock is not None else 0.0
-        outcomes: list[_ShardOutcome] = []
-        for shard in shards:
-            current = shard
-            outcome = _run_shard(
-                engine,
-                shard,
-                buckets[shard] if buckets is not None else None,
-                partitioned,
-            )
-            if outcome is not None:
-                outcomes.append(outcome)
-        elapsed = clock() - started if clock is not None else 0.0
-        conn.send(("ok", outcomes, elapsed))
-    except BaseException as exc:
-        try:
-            conn.send(("error", current, exc))
-        except Exception:
-            # The exception itself would not pickle; ship a summary that
-            # still points at the failing shard.
-            conn.send(
-                ("error", current, RuntimeError(f"{type(exc).__name__}: {exc}"))
-            )
-    finally:
-        conn.close()
+class _ShardError(Exception):
+    """Wraps a shard's failure so the parent can re-raise the original.
+
+    Carries the failing shard (for the deterministic lowest-shard-first
+    raise) around the original exception.  ``__reduce__`` keeps the pair
+    picklable whenever the original is; an unpicklable original falls
+    back to the pool's summary path.
+    """
+
+    def __init__(self, shard: int, original: BaseException) -> None:
+        super().__init__(
+            f"shard {shard}: {type(original).__name__}: {original}"
+        )
+        self.shard = shard
+        self.original = original
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        return (_ShardError, (self.shard, self.original))
 
 
 def _run_forked(
@@ -221,49 +203,54 @@ def _run_forked(
     buckets: list[list[QueryRequest]] | None,
     partitioned: PartitionedTraceSource | None,
 ) -> tuple[list[_ShardOutcome], tuple[float, ...]]:
-    """Run shard groups in forked workers; collect outcomes and timings.
+    """Run shard groups in forked pool workers; collect outcomes and timings.
 
-    The parent receives each worker's payload *before* joining it — a
-    worker blocked sending a large outcome through the pipe would
-    otherwise deadlock against a parent blocked in ``join``.
+    One :class:`~repro.engine.pool.ForkWorkerPool` worker per group, one
+    task per worker: the pool provides the fork-start plumbing (payload
+    pipes, recv-before-join discipline, died-worker detection) this
+    module used to hand-roll, and the sweep engine reuses the same pool
+    for its persistent cross-run workers.
     """
-    ctx = multiprocessing.get_context("fork")
-    channels = []
-    for group in groups:
-        parent_conn, child_conn = ctx.Pipe(duplex=False)
-        process = ctx.Process(
-            target=_worker_main,
-            args=(child_conn, engine, group, buckets, partitioned),
-        )
-        process.start()
-        child_conn.close()
-        channels.append((parent_conn, process, group))
+    clock = host_clock
+
+    def handler(group: list[int]) -> tuple[list[_ShardOutcome], float]:
+        started = clock() if clock is not None else 0.0
+        outcomes: list[_ShardOutcome] = []
+        for shard in group:
+            try:
+                outcome = _run_shard(
+                    engine,
+                    shard,
+                    buckets[shard] if buckets is not None else None,
+                    partitioned,
+                )
+            except BaseException as exc:
+                raise _ShardError(shard, exc) from None
+            if outcome is not None:
+                outcomes.append(outcome)
+        elapsed = clock() - started if clock is not None else 0.0
+        return outcomes, elapsed
+
     outcomes: list[_ShardOutcome] = []
     seconds: list[float] = []
     errors: list[tuple[int, BaseException]] = []
-    for parent_conn, process, group in channels:
-        try:
-            payload: tuple[Any, ...] = parent_conn.recv()
-        except EOFError:
-            payload = ("died",)
-        finally:
-            parent_conn.close()
-        process.join()
-        if payload[0] == "ok":
-            outcomes.extend(payload[1])
-            seconds.append(payload[2])
-        elif payload[0] == "error":
-            errors.append((payload[1], payload[2]))
+    with ForkWorkerPool(handler, workers=len(groups)) as pool:
+        results = pool.run(
+            (index, group, index) for index, group in enumerate(groups)
+        )
+    for result in results:
+        group = groups[result.task_id]
+        if result.error is None:
+            group_outcomes, elapsed = result.result
+            outcomes.extend(group_outcomes)
+            seconds.append(elapsed)
+        elif isinstance(result.error, _ShardError):
+            errors.append((result.error.shard, result.error.original))
         else:
-            errors.append(
-                (
-                    min(group),
-                    RuntimeError(
-                        f"parallel worker serving shards {group} died "
-                        "without reporting an outcome"
-                    ),
-                )
-            )
+            # The worker died or the original failure would not pickle;
+            # attribute it to the group's lowest shard (the first the
+            # oracle would have hit).
+            errors.append((min(group), result.error))
     if errors:
         # The lowest-shard error is the one the oracle would have hit
         # first (shards within a worker run in ascending order), so the
@@ -355,7 +342,7 @@ def run_partitioned(
         jobs = [shard for shard in range(num_shards) if buckets[shard]]
 
     worker_count = max(1, min(int(workers), max(1, len(jobs))))
-    if worker_count > 1 and "fork" not in multiprocessing.get_all_start_methods():
+    if worker_count > 1 and not fork_available():
         # No fork on this platform: degrade gracefully to the in-process
         # partitioned path (same partitions, same merge, same report).
         worker_count = 1
@@ -482,4 +469,9 @@ def run_partitioned(
             worker_seconds=worker_seconds,
         ),
         profile=profile,
+        # The parent's registry snapshot: forked workers' serve-time
+        # lookups land in their own copy-on-write registries, so this
+        # reflects the shared table the workers inherited (fleet-build
+        # prewarms included), not per-worker hit traffic.
+        cache_stats=default_registry().stats(),
     )

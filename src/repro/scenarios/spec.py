@@ -33,6 +33,7 @@ unknown keys (the forward-compatibility guard).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from collections.abc import Iterator
 from dataclasses import dataclass, field
@@ -60,6 +61,7 @@ from repro.service.service import PLACEMENTS, QRAMService
 __all__ = [
     "DATA_PATTERNS",
     "DELIVERIES",
+    "VIRTUAL_AXES",
     "WORKLOAD_KINDS",
     "BuiltScenario",
     "FleetSpec",
@@ -68,6 +70,7 @@ __all__ = [
     "ScenarioSpec",
     "SpecError",
     "WorkloadSpec",
+    "axis_paths",
 ]
 
 
@@ -114,6 +117,17 @@ def _check_keys(
 
 def _field_names(cls: type) -> frozenset[str]:
     return frozenset(f.name for f in dataclasses.fields(cls))
+
+
+def _canonical_fingerprint(payload: dict[str, Any]) -> str:
+    """SHA-256 of the canonical JSON form of a spec section.
+
+    ``sort_keys`` plus JSON's exact ``repr``-based float serialization
+    make the digest a pure function of the spec's values, so equal specs
+    fingerprint equally across processes and sessions.
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def _as_optional_float_tuple(
@@ -224,6 +238,53 @@ class FleetSpec:
     @property
     def num_shards(self) -> int:
         return len(self.shards)
+
+    def fingerprint(self) -> str:
+        """Content digest of this fleet configuration.
+
+        Equal fleets — same shards, placement, memory contents, noise
+        parameters — share a fingerprint, which is exactly the condition
+        under which they share warm
+        :class:`~repro.schedule_cache.ScheduleCacheRegistry` entries.
+        The sweep engine routes every scenario with the same fleet
+        fingerprint to the same pool worker (cache affinity).
+        """
+        return _canonical_fingerprint(self.to_dict())
+
+    def with_qec_distance(self, distance: int) -> "FleetSpec":
+        """This fleet with every shard re-encoded at code ``distance``.
+
+        Rewrites each shard name's ``@d<k>`` suffix (``distance=1`` means
+        the bare, unencoded architecture) — the sweep axis
+        ``fleet.qec_distance``.
+        """
+        from repro.backends.encoded import parse_encoded_name
+
+        _require(
+            isinstance(distance, int) and distance >= 1,
+            f"FleetSpec.with_qec_distance needs an int distance >= 1 "
+            f"(got {distance!r})",
+        )
+        shards = []
+        for name in self.shards:
+            base, _ = parse_encoded_name(name)
+            shards.append(base if distance == 1 else f"{base}@d{distance}")
+        return dataclasses.replace(self, shards=tuple(shards))
+
+    def with_shard_count(self, count: int) -> "FleetSpec":
+        """This fleet widened/narrowed to ``count`` shards.
+
+        Cycles the existing shard pattern out to ``count`` entries (a
+        homogeneous fleet stays homogeneous; a mixed pattern repeats) —
+        the sweep axis ``fleet.shard_count``.
+        """
+        _require(
+            isinstance(count, int) and count >= 1,
+            f"FleetSpec.with_shard_count needs an int count >= 1 "
+            f"(got {count!r})",
+        )
+        shards = tuple(self.shards[i % len(self.shards)] for i in range(count))
+        return dataclasses.replace(self, shards=shards)
 
     def memory(self) -> list[int] | None:
         """The fleet's classical memory contents (``None`` = zeros)."""
@@ -822,6 +883,72 @@ class ScenarioSpec:
                 f"for this fleet (got {len(self.workload.shard_weights)})",
             )
 
+    # ---------------------------------------------------- fingerprints/axes
+    def fingerprint(self) -> str:
+        """Content digest of everything that determines this spec's report.
+
+        ``name`` is excluded — it labels the spec but never reaches the
+        engine, so two points differing only by name are the *same*
+        execution.  The sweep engine deduplicates on this digest: equal
+        specs run once and share the resulting report.
+        """
+        payload = self.to_dict()
+        del payload["name"]
+        return _canonical_fingerprint(payload)
+
+    def with_value(self, path: str, value: Any) -> "ScenarioSpec":
+        """A copy with one dotted ``"section.field"`` replaced.
+
+        ``path`` names a section (``fleet`` / ``workload`` / ``policy`` /
+        ``run``) and a field of that section; the replacement goes through
+        :func:`dataclasses.replace`, so section validation and the
+        cross-section checks re-run on the copy.  Two virtual fleet axes
+        map onto rewrite helpers rather than raw fields:
+
+        * ``"fleet.qec_distance"`` → :meth:`FleetSpec.with_qec_distance`
+        * ``"fleet.shard_count"`` → :meth:`FleetSpec.with_shard_count`
+
+        Dict values for the nested dataclass fields
+        (``policy.autoscaler``, ``fleet.parameters``) are converted, so
+        JSON-loaded sweep axes can carry them; list values become tuples.
+        """
+        section_name, _, field_name = path.partition(".")
+        sections = ("fleet", "workload", "policy", "run")
+        _require(
+            section_name in sections and bool(field_name)
+            and "." not in field_name,
+            f"ScenarioSpec.with_value path must be 'section.field' with "
+            f"section in {sections} (got {path!r})",
+        )
+        if path == "fleet.qec_distance":
+            return dataclasses.replace(
+                self, fleet=self.fleet.with_qec_distance(value)
+            )
+        if path == "fleet.shard_count":
+            return dataclasses.replace(
+                self, fleet=self.fleet.with_shard_count(value)
+            )
+        section = getattr(self, section_name)
+        _require(
+            field_name in _field_names(type(section)),
+            f"{type(section).__name__} has no field {field_name!r}",
+        )
+        nested: dict[tuple[str, str], type] = {
+            ("fleet", "parameters"): HardwareParameters,
+            ("policy", "autoscaler"): AutoscalerConfig,
+        }
+        nested_type = nested.get((section_name, field_name))
+        if nested_type is not None and isinstance(value, dict):
+            _check_keys(value, _field_names(nested_type), path)
+            try:
+                value = nested_type(**value)
+            except ValueError as exc:
+                raise SpecError(f"{path}: {exc}") from None
+        if isinstance(value, list):
+            value = tuple(value)
+        replaced = dataclasses.replace(section, **{field_name: value})
+        return dataclasses.replace(self, **{section_name: replaced})
+
     # ------------------------------------------------------------- building
     def build(self, sink: Any = None) -> BuiltScenario:
         """Assemble the service, engine and workload source.
@@ -912,3 +1039,30 @@ class ScenarioSpec:
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":
         return cls.from_dict(json.loads(text))
+
+
+#: Dotted sweep-axis paths that map onto fleet rewrite helpers instead of
+#: raw :class:`FleetSpec` fields (see :meth:`ScenarioSpec.with_value`).
+VIRTUAL_AXES = frozenset({"fleet.qec_distance", "fleet.shard_count"})
+
+
+def axis_paths() -> frozenset[str]:
+    """Every dotted ``"section.field"`` path ``with_value`` accepts.
+
+    The sweep layer (:mod:`repro.sweep`) validates axis paths against
+    this set eagerly, so a misspelled axis fails at spec construction
+    rather than mid-campaign.
+    """
+    sections: dict[str, type] = {
+        "fleet": FleetSpec,
+        "workload": WorkloadSpec,
+        "policy": PolicySpec,
+        "run": RunSpec,
+    }
+    paths = set(VIRTUAL_AXES)
+    for section, cls in sections.items():
+        paths.update(
+            f"{section}.{spec_field.name}"
+            for spec_field in dataclasses.fields(cls)
+        )
+    return frozenset(paths)

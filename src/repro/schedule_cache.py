@@ -79,7 +79,12 @@ class CacheStats:
     Attributes:
         hits: lookups served from the shared table.
         misses: lookups that built a fresh executor.
-        prewarms: executors warmed eagerly at fleet build / worker spawn.
+        prewarms: executors actually *built* by eager warming at fleet
+            build / worker spawn.  A warm rebuild of a known
+            configuration hits the shared table and does not count, so
+            across a sweep of scenarios sharing fleets this counter
+            stays flat at (unique configurations) while ``hits`` climbs
+            — the cross-run reuse proof.
         invalidations: backend-local executor pointers dropped by writes.
         entries: executors currently in the table.
         fidelity_hits: per-occupancy fidelity vectors served shared.
@@ -101,6 +106,34 @@ class CacheStats:
         """Hits over all lookups (0.0 before any lookup)."""
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
+
+    def delta(self, baseline: "CacheStats") -> "CacheStats":
+        """The counter movement since ``baseline`` (an earlier snapshot).
+
+        Monotone counters subtract; the table-size gauges (``entries``,
+        ``fidelity_entries``) keep this snapshot's values — a delta still
+        describes the table as it stands now.
+        """
+        return CacheStats(
+            hits=self.hits - baseline.hits,
+            misses=self.misses - baseline.misses,
+            prewarms=self.prewarms - baseline.prewarms,
+            invalidations=self.invalidations - baseline.invalidations,
+            entries=self.entries,
+            fidelity_hits=self.fidelity_hits - baseline.fidelity_hits,
+            fidelity_misses=self.fidelity_misses - baseline.fidelity_misses,
+            fidelity_entries=self.fidelity_entries,
+        )
+
+    def summary(self) -> str:
+        """One observability line (profiled runs and the sweep CLI)."""
+        return (
+            f"schedule cache: hits={self.hits} misses={self.misses} "
+            f"hit_rate={self.hit_rate:.3f} prewarms={self.prewarms} "
+            f"entries={self.entries} invalidations={self.invalidations} | "
+            f"fidelity: hits={self.fidelity_hits} "
+            f"misses={self.fidelity_misses} entries={self.fidelity_entries}"
+        )
 
 
 class ScheduleCacheRegistry:
@@ -219,8 +252,16 @@ class ScheduleCacheRegistry:
         hook are skipped.  Returns the number of backends warmed.  Run at
         fleet build and again immediately before worker processes fork, so
         children inherit a warm table copy-on-write.
+
+        The ``prewarms`` counter moves only by the number of executors the
+        warming actually *built* (the misses its lookups took): warming a
+        configuration the table already holds is pure hits, so repeated
+        fleet builds over the same designs — a sweep — leave the counter
+        flat while ``hits`` climbs.
         """
         warmed = 0
+        with self._lock:
+            misses_before = self._misses
         for backend in backends:
             hook = getattr(backend, "warm_schedule_caches", None)
             if hook is None:
@@ -228,7 +269,7 @@ class ScheduleCacheRegistry:
             hook()
             warmed += 1
         with self._lock:
-            self._prewarms += warmed
+            self._prewarms += self._misses - misses_before
         return warmed
 
     def note_invalidation(self) -> None:

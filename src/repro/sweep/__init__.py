@@ -1,0 +1,48 @@
+"""Design-space sweeps: batch scenario execution and Pareto frontiers.
+
+The campaign layer over :mod:`repro.scenarios`: declare a base
+:class:`~repro.scenarios.spec.ScenarioSpec` crossed with axes
+(:class:`SweepSpec`), execute every point on a persistent fork-start
+worker pool with cross-run schedule-cache reuse (:func:`run_sweep`), and
+extract the cost/latency/fidelity Pareto frontier from the result rows
+(:func:`pareto_frontier` / :func:`frontier_report`).  Rows and frontiers
+are bit-identical for every pool size and submission order.
+
+Command line: ``python -m repro.sweep <sweep.json> --pool 4
+--out rows.jsonl --frontier frontier.json``.
+"""
+
+from repro.sweep.engine import (
+    METRIC_FIELDS,
+    SweepResult,
+    fleet_cost_qubits,
+    report_digest,
+    run_sweep,
+    write_rows_jsonl,
+)
+from repro.sweep.pareto import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    dominates,
+    frontier_report,
+    objective_vector,
+    pareto_frontier,
+)
+from repro.sweep.spec import SweepPoint, SweepSpec
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "METRIC_FIELDS",
+    "Objective",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "dominates",
+    "fleet_cost_qubits",
+    "frontier_report",
+    "objective_vector",
+    "pareto_frontier",
+    "report_digest",
+    "run_sweep",
+    "write_rows_jsonl",
+]

@@ -1,0 +1,122 @@
+"""Command-line sweep runner: ``python -m repro.sweep <sweep.json>``.
+
+Reads a :class:`~repro.sweep.spec.SweepSpec` JSON document, executes
+every point (optionally on a persistent worker pool), streams one JSONL
+row per point, and writes the Pareto frontier report.  Exit status is
+non-zero when any point errored (the rows still record all of them).
+
+Example::
+
+    python -m repro.sweep campaign.json --pool 4 \\
+        --out rows.jsonl --frontier frontier.json \\
+        --objectives cost_qubits,p99_latency_layers,mean_fidelity:max
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.sweep.engine import run_sweep
+from repro.sweep.pareto import DEFAULT_OBJECTIVES, Objective, frontier_report
+from repro.sweep.spec import SweepSpec
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description=(
+            "Run a design-space sweep: every point of a SweepSpec JSON "
+            "document, deduplicated and cache-affine on a persistent "
+            "worker pool, with a Pareto frontier report."
+        ),
+    )
+    parser.add_argument("sweep", help="path to a SweepSpec JSON document")
+    parser.add_argument(
+        "--pool",
+        type=int,
+        default=0,
+        help=(
+            "persistent fork workers (0 = inline serial execution, the "
+            "default and the fallback where fork is unavailable)"
+        ),
+    )
+    parser.add_argument(
+        "--recycle-after",
+        type=int,
+        default=None,
+        help=(
+            "retire each worker after this many runs (1 reproduces the "
+            "cold fork-per-run model; default: workers persist)"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write one canonical JSON row per point to this JSONL file",
+    )
+    parser.add_argument(
+        "--frontier",
+        default=None,
+        help="write the Pareto frontier report (JSON) to this file",
+    )
+    parser.add_argument(
+        "--objectives",
+        default=None,
+        help=(
+            "comma-separated frontier objectives as key[:min|:max] "
+            "(default: cost_qubits,p99_latency_layers,mean_fidelity:max)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.sweep, encoding="utf-8") as handle:
+        sweep = SweepSpec.from_json(handle.read())
+    objectives = (
+        DEFAULT_OBJECTIVES
+        if args.objectives is None
+        else tuple(
+            Objective.parse(text) for text in args.objectives.split(",")
+        )
+    )
+
+    result = run_sweep(
+        sweep,
+        pool_size=args.pool,
+        recycle_after=args.recycle_after,
+        jsonl_path=args.out,
+    )
+    errors = [row for row in result.rows if row["status"] == "error"]
+    print(
+        f"sweep '{sweep.name or args.sweep}': {len(result.rows)} points, "
+        f"{result.executions} unique executions, pool={result.pool_size}, "
+        f"{len(errors)} errored"
+    )
+    print(result.cache_stats.summary())
+    for row in errors:
+        print(f"  point {row['point']} ({row['name']}): {row['error']}")
+
+    report = frontier_report(result.rows, objectives)
+    print(
+        f"frontier: {len(report['frontier'])} of {report['candidates']} "
+        f"ranked points on "
+        + ", ".join(
+            f"{o['key']}:{o['goal']}" for o in report["objectives"]
+        )
+    )
+    for entry in report["frontier"]:
+        values = ", ".join(
+            f"{key}={value}" for key, value in entry["objectives"].items()
+        )
+        print(f"  point {entry['point']}: {values}")
+    if args.frontier is not None:
+        with open(args.frontier, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

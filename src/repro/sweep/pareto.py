@@ -1,0 +1,169 @@
+"""Pareto frontier extraction over sweep result rows.
+
+A design-space campaign's deliverable is rarely "the best point" — cost,
+latency and fidelity trade off, so the answer is the set of
+*non-dominated* points: those no other point beats on every objective at
+once.  This module extracts that set from the JSONL rows the batch
+engine (:mod:`repro.sweep.engine`) produces.
+
+Dominance is **weak**: ``a`` dominates ``b`` when ``a`` is at least as
+good on every objective and strictly better on one.  Points with *equal*
+objective vectors therefore never dominate each other and all stay on
+the frontier — which is what makes frontier extraction order-independent
+and mergeable: ``frontier(A ∪ B) == frontier(frontier(A) ∪ frontier(B))``
+for any split, so partial campaign results merge without bias and the
+result never depends on row order (the frontier is sorted by objective
+vector, then point index).
+
+Rows that cannot be ranked — ``status="error"``, or a ``None`` metric
+(e.g. ``mean_fidelity`` without a noise model) — are excluded rather
+than defaulted: a point must prove its objectives to stand on the
+frontier.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "Objective",
+    "dominates",
+    "frontier_report",
+    "objective_vector",
+    "pareto_frontier",
+]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One frontier dimension: a metrics key and its direction.
+
+    Attributes:
+        key: key into a row's ``metrics`` object (any
+            :data:`~repro.sweep.engine.METRIC_FIELDS` entry or
+            ``cost_qubits``).
+        goal: ``"min"`` or ``"max"``.
+    """
+
+    key: str
+    goal: str = "min"
+
+    def __post_init__(self) -> None:
+        if self.goal not in ("min", "max"):
+            raise ValueError(
+                f"Objective.goal must be 'min' or 'max' (got {self.goal!r})"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Objective":
+        """Parse ``"key"`` or ``"key:max"`` (CLI form; default min)."""
+        key, _, goal = text.partition(":")
+        return cls(key=key, goal=goal or "min")
+
+
+#: The campaign headline: cheapest fleet, lowest tail latency, highest
+#: fidelity.
+DEFAULT_OBJECTIVES = (
+    Objective("cost_qubits", "min"),
+    Objective("p99_latency_layers", "min"),
+    Objective("mean_fidelity", "max"),
+)
+
+
+def objective_vector(
+    row: dict[str, Any], objectives: Sequence[Objective]
+) -> tuple[float, ...] | None:
+    """The row's minimize-normalized objective vector (``None`` = unranked).
+
+    ``max`` objectives negate, so *smaller is better* on every component
+    and dominance is a plain component-wise comparison.
+    """
+    if row.get("status") != "ok":
+        return None
+    metrics = row.get("metrics") or {}
+    vector: list[float] = []
+    for objective in objectives:
+        value = metrics.get(objective.key)
+        if value is None:
+            return None
+        vector.append(
+            -float(value) if objective.goal == "max" else float(value)
+        )
+    return tuple(vector)
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Weak dominance of minimize-normalized vectors.
+
+    True when ``a`` is no worse than ``b`` everywhere and strictly
+    better somewhere; equal vectors dominate in neither direction.
+    """
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def pareto_frontier(
+    rows: Iterable[dict[str, Any]],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> list[dict[str, Any]]:
+    """The non-dominated rows, sorted by objective vector then point.
+
+    The sort (not input order) fixes the output, and weak dominance
+    keeps every member of a tie — together making the extraction
+    order-independent and merge-stable.
+    """
+    ranked = [
+        (vector, row)
+        for row in rows
+        if (vector := objective_vector(row, objectives)) is not None
+    ]
+    frontier = [
+        (vector, row)
+        for vector, row in ranked
+        if not any(
+            dominates(other, vector) for other, _ in ranked
+        )
+    ]
+    frontier.sort(key=lambda item: (item[0], item[1]["point"]))
+    return [row for _, row in frontier]
+
+
+def frontier_report(
+    rows: Iterable[dict[str, Any]],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> dict[str, Any]:
+    """The frontier as one replayable JSON document.
+
+    Each frontier entry carries its objective values and the winning
+    point's full serialized :class:`~repro.scenarios.spec.ScenarioSpec`,
+    so any winner re-runs with
+    ``ScenarioSpec.from_dict(entry["spec"]).execute()``.
+    """
+    rows = list(rows)
+    frontier = pareto_frontier(rows, objectives)
+    return {
+        "objectives": [
+            {"key": o.key, "goal": o.goal} for o in objectives
+        ],
+        "candidates": sum(
+            1 for row in rows
+            if objective_vector(row, objectives) is not None
+        ),
+        "frontier": [
+            {
+                "point": row["point"],
+                "name": row["name"],
+                "coords": row["coords"],
+                "objectives": {
+                    o.key: row["metrics"][o.key] for o in objectives
+                },
+                "metrics": row["metrics"],
+                "spec": row["spec"],
+            }
+            for row in frontier
+        ],
+    }

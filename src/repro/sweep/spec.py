@@ -1,0 +1,182 @@
+"""Sweep declarations: a base scenario crossed with named axes.
+
+A :class:`SweepSpec` is the declarative form of a design-space campaign:
+one base :class:`~repro.scenarios.spec.ScenarioSpec` plus an ordered list
+of **axes**, each a dotted ``"section.field"`` path (anything
+:meth:`ScenarioSpec.with_value` accepts, including the virtual fleet axes
+``fleet.qec_distance`` and ``fleet.shard_count``) with the values to try.
+:meth:`SweepSpec.expand` takes the Cartesian product in axis order and
+yields one :class:`SweepPoint` per combination — index, coordinates, and
+the fully-validated concrete spec — which the batch engine
+(:mod:`repro.sweep.engine`) executes.
+
+Like every spec in this repository the sweep is frozen, eagerly
+validated (axis paths are checked against
+:func:`repro.scenarios.spec.axis_paths` at construction) and JSON
+round-trippable, so a whole campaign is one replayable document.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.scenarios.spec import ScenarioSpec, SpecError, axis_paths
+
+__all__ = ["SweepPoint", "SweepSpec"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One expanded design point of a sweep.
+
+    Attributes:
+        index: position in expansion order (the stable identity every
+            result row and frontier entry carries).
+        name: human-readable label (``"<sweep>#<index> path=value ..."``).
+        coords: the axis assignments of this point, in axis order.
+        spec: the concrete, validated scenario (its ``name`` is the point
+            name; the name never reaches the engine).
+    """
+
+    index: int
+    name: str
+    coords: tuple[tuple[str, Any], ...]
+    spec: ScenarioSpec
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A base scenario crossed with axes of alternative values.
+
+    Attributes:
+        base: the scenario every point derives from.
+        axes: ordered ``(path, values)`` pairs; ``path`` is any dotted
+            field :meth:`ScenarioSpec.with_value` accepts and ``values``
+            is the non-empty tuple of alternatives.  Expansion order is
+            the Cartesian product with the *last* axis varying fastest.
+        name: campaign label (used in point names; free-form).
+    """
+
+    base: ScenarioSpec
+    axes: tuple[tuple[str, tuple[Any, ...]], ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        normalized: list[tuple[str, tuple[Any, ...]]] = []
+        seen: set[str] = set()
+        valid = axis_paths()
+        for axis in self.axes:
+            try:
+                path, values = axis
+            except (TypeError, ValueError):
+                raise SpecError(
+                    f"SweepSpec.axes entries must be (path, values) pairs "
+                    f"(got {axis!r})"
+                ) from None
+            if path not in valid:
+                raise SpecError(
+                    f"SweepSpec.axes path {path!r} is not a sweepable "
+                    f"field; expected one of {sorted(valid)}"
+                )
+            if path in seen:
+                raise SpecError(f"SweepSpec.axes path {path!r} repeats")
+            seen.add(path)
+            values = tuple(values)
+            if not values:
+                raise SpecError(
+                    f"SweepSpec.axes path {path!r} has no values"
+                )
+            normalized.append((path, values))
+        object.__setattr__(self, "axes", tuple(normalized))
+
+    @property
+    def num_points(self) -> int:
+        """Points :meth:`expand` yields (product of axis lengths)."""
+        count = 1
+        for _, values in self.axes:
+            count *= len(values)
+        return count
+
+    def expand(self) -> tuple[SweepPoint, ...]:
+        """Every design point, in deterministic expansion order.
+
+        Each point applies its axis values to ``base`` through
+        :meth:`ScenarioSpec.with_value`, so per-section validation and
+        the cross-section checks run on every combination; an invalid
+        combination raises :class:`SpecError` naming the point.
+        """
+        paths = [path for path, _ in self.axes]
+        points: list[SweepPoint] = []
+        label = self.name or self.base.name or "sweep"
+        for index, combo in enumerate(
+            itertools.product(*(values for _, values in self.axes))
+        ):
+            coords = tuple(zip(paths, combo))
+            spec = self.base
+            try:
+                for path, value in coords:
+                    spec = spec.with_value(path, value)
+            except SpecError as exc:
+                raise SpecError(
+                    f"sweep point {index} "
+                    f"({', '.join(f'{p}={v!r}' for p, v in coords)}): {exc}"
+                ) from None
+            name = f"{label}#{index:03d}"
+            if coords:
+                name += " " + " ".join(f"{p}={v}" for p, v in coords)
+            spec = dataclasses.replace(spec, name=name)
+            points.append(
+                SweepPoint(index=index, name=name, coords=coords, spec=spec)
+            )
+        return tuple(points)
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "base": self.base.to_dict(),
+            "axes": [
+                {"path": path, "values": list(values)}
+                for path, values in self.axes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SweepSpec":
+        unknown = sorted(set(payload) - {"name", "base", "axes"})
+        if unknown:
+            raise SpecError(
+                f"unknown SweepSpec key(s) {unknown}; expected a subset of "
+                f"['axes', 'base', 'name']"
+            )
+        if "base" not in payload:
+            raise SpecError("SweepSpec requires a 'base' scenario section")
+        axes: list[tuple[str, tuple[Any, ...]]] = []
+        for entry in payload.get("axes", ()):
+            if not isinstance(entry, dict) or set(entry) != {
+                "path",
+                "values",
+            }:
+                raise SpecError(
+                    f"SweepSpec.axes entries must be "
+                    f"{{'path': ..., 'values': [...]}} objects "
+                    f"(got {entry!r})"
+                )
+            axes.append((entry["path"], tuple(entry["values"])))
+        return cls(
+            base=ScenarioSpec.from_dict(payload["base"]),
+            axes=tuple(axes),
+            name=str(payload.get("name", "")),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The sweep as a JSON document (stable key order)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(json.loads(text))
